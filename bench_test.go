@@ -1,0 +1,155 @@
+// Benchmarks regenerating each paper artifact (tables/figures E1–E14, see
+// DESIGN.md §3) plus engine micro-benchmarks. One benchmark per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// Each ExxBenchmark runs the corresponding experiment at Small scale; the
+// full-scale numbers quoted in EXPERIMENTS.md come from `pplb-bench -full`.
+package pplb
+
+import (
+	"testing"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := RunExperiment(name, false)
+		if r == nil {
+			b.Fatalf("experiment %q missing", name)
+		}
+		if !r.AllPassed() {
+			b.Fatalf("%s checks failed: %v", r.ID, r.FailedChecks())
+		}
+	}
+}
+
+// BenchmarkE1Fig1Statics regenerates the Fig. 1 / Eq. (1) movement table.
+func BenchmarkE1Fig1Statics(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2Fig2Energy regenerates the Fig. 2 energy ledger.
+func BenchmarkE2Fig2Energy(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Fig3Trapping regenerates the Fig. 3 / Theorem 1 trapping table.
+func BenchmarkE3Fig3Trapping(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Table1Sensitivity regenerates the measured Table 1.
+func BenchmarkE4Table1Sensitivity(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Thm2Convergence regenerates the Theorem 2 convergence series.
+func BenchmarkE5Thm2Convergence(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6BaselineComparison regenerates the baseline comparison table.
+func BenchmarkE6BaselineComparison(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7FaultTolerance regenerates the fault sweep.
+func BenchmarkE7FaultTolerance(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8DependencyAffinity regenerates the dependency sweep.
+func BenchmarkE8DependencyAffinity(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Annealing regenerates the arbiter cooling sweep.
+func BenchmarkE9Annealing(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10DynamicArrivals regenerates the response-time table.
+func BenchmarkE10DynamicArrivals(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Scalability regenerates the engine-throughput table.
+func BenchmarkE11Scalability(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Ablations regenerates the design-choice ablation table.
+func BenchmarkE12Ablations(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Heterogeneity regenerates the speed-weighted-surface table.
+func BenchmarkE13Heterogeneity(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14StaticVsDynamic regenerates the static-vs-dynamic comparison.
+func BenchmarkE14StaticVsDynamic(b *testing.B) { benchExperiment(b, "E14") }
+
+// --- engine micro-benchmarks through the public API ---
+
+func benchSystemTick(b *testing.B, g *Graph, policy Policy, tasks int) {
+	b.Helper()
+	sys, err := NewSystem(g, policy,
+		WithInitial(HotspotLoad(g.N(), 0, tasks, 0.5)),
+		WithSeed(1),
+		WithMetricsEvery(1<<30), // effectively disable metrics in the hot loop
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(20) // spread load so ticks measure steady-state work
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkTickPPLBTorus256 measures one engine tick of PPLB on a 16x16
+// torus with 512 tasks.
+func BenchmarkTickPPLBTorus256(b *testing.B) {
+	benchSystemTick(b, Torus(16, 16), NewBalancer(DefaultBalancerConfig()), 512)
+}
+
+// BenchmarkTickPPLBTorus1024 measures one engine tick of PPLB on a 32x32
+// torus with 2048 tasks.
+func BenchmarkTickPPLBTorus1024(b *testing.B) {
+	benchSystemTick(b, Torus(32, 32), NewBalancer(DefaultBalancerConfig()), 2048)
+}
+
+// BenchmarkTickDiffusionTorus256 measures the diffusion baseline for
+// comparison.
+func BenchmarkTickDiffusionTorus256(b *testing.B) {
+	benchSystemTick(b, Torus(16, 16), DiffusionPolicy(0), 512)
+}
+
+// BenchmarkTickGMTorus256 measures the gradient-model baseline (includes the
+// per-tick BFS pressure relaxation).
+func BenchmarkTickGMTorus256(b *testing.B) {
+	benchSystemTick(b, Torus(16, 16), GradientModelPolicy(), 512)
+}
+
+// BenchmarkTickPPLBParallel measures goroutine-parallel planning on a large
+// graph.
+func BenchmarkTickPPLBParallel(b *testing.B) {
+	g := RandomRegular(1024, 4, 7)
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+		WithInitial(UniformRandomLoad(g.N(), 4096, 0.5, 3)),
+		WithSeed(1),
+		WithWorkers(8),
+		WithMetricsEvery(1<<30),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkStaticMapping measures the simulated-annealing mapper.
+func BenchmarkStaticMapping(b *testing.B) {
+	g := Torus(4, 4)
+	loads := make([]float64, 64)
+	for i := range loads {
+		loads[i] = 0.5 + float64(i%4)/4
+	}
+	comm := ClusteredDeps([][]float64{loads}, 4, 1)
+	p := &MappingProblem{G: g, Loads: loads, Comm: comm, Lambda: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = StaticMap(p, AnnealParams{Iterations: 2000, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkParticleSimulation measures the physics engine on a bowl.
+func BenchmarkParticleSimulation(b *testing.B) {
+	pl := BowlPlane(41, 10, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := NewParticle(pl, 1, 1, 1, 0.05, 0.1, 1)
+		SimulateParticle(pl, pt, 300)
+	}
+}

@@ -1,0 +1,102 @@
+// Command pplb-bench regenerates the paper's tables and figures (experiments
+// E1–E14; see DESIGN.md for the index) and prints them with their shape
+// checks.
+//
+// Usage:
+//
+//	pplb-bench [-full] [-out FILE] [-checks FILE] [experiment ...]
+//
+// With no arguments it runs the whole registry. Experiments are named by id
+// (E1..E14) or alias (fig1, fig2, fig3, table1, thm2, compare, faults, deps,
+// anneal, dynamic, scale, ablate, hetero, static). -full selects the
+// paper-scale parameters used for EXPERIMENTS.md (slower); the default is
+// the quick variant. -checks writes a machine-readable JSON summary of all
+// shape checks (a CI gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pplb"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-scale (slow) variants")
+	out := flag.String("out", "", "also write the reports to this file")
+	checksPath := flag.String("checks", "", "write a machine-readable JSON summary of all checks to this file")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pplb-bench [-full] [-out FILE] [experiment ...]\n\nexperiments:\n")
+		for _, d := range pplb.ExperimentDescriptions() {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, d := range pplb.ExperimentDescriptions() {
+			fmt.Println(d)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = pplb.ExperimentIDs()
+	}
+	type checkJSON struct {
+		Experiment string `json:"experiment"`
+		Check      string `json:"check"`
+		Pass       bool   `json:"pass"`
+		Detail     string `json:"detail"`
+	}
+	var allChecks []checkJSON
+	failed := 0
+	for _, name := range names {
+		r := pplb.RunExperiment(name, *full)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "pplb-bench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		r.Render(w)
+		for _, c := range r.Checks {
+			allChecks = append(allChecks, checkJSON{Experiment: r.ID, Check: c.Name, Pass: c.Pass, Detail: c.Detail})
+		}
+		if !r.AllPassed() {
+			failed++
+			fmt.Fprintf(os.Stderr, "pplb-bench: %s failed checks: %v\n", r.ID, r.FailedChecks())
+		}
+	}
+	if *checksPath != "" {
+		f, err := os.Create(*checksPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(allChecks); err != nil {
+			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

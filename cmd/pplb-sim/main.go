@@ -1,0 +1,234 @@
+// Command pplb-sim runs one load-balancing scenario and reports balance
+// quality, cost counters and (optionally) a CSV of the per-tick series.
+//
+// Usage examples:
+//
+//	pplb-sim -topology torus:8x8 -policy pplb -load hotspot -tasks 256 -ticks 1000
+//	pplb-sim -topology hypercube:6 -policy diffusion -load random -seed 7
+//	pplb-sim -topology mesh:8x8 -policy pplb -faults 0.2 -csv run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pplb"
+	"pplb/internal/ascii"
+)
+
+func parseTopology(spec string) (*pplb.Graph, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	dims := func() (int, int, error) {
+		var r, c int
+		if _, err := fmt.Sscanf(arg, "%dx%d", &r, &c); err != nil {
+			return 0, 0, fmt.Errorf("bad dimensions %q (want RxC)", arg)
+		}
+		return r, c, nil
+	}
+	single := func() (int, error) {
+		var n int
+		if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
+			return 0, fmt.Errorf("bad size %q", arg)
+		}
+		return n, nil
+	}
+	switch name {
+	case "mesh":
+		r, c, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.Mesh(r, c), nil
+	case "torus":
+		r, c, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.Torus(r, c), nil
+	case "hypercube":
+		d, err := single()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.Hypercube(d), nil
+	case "ring":
+		n, err := single()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.Ring(n), nil
+	case "star":
+		n, err := single()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.Star(n), nil
+	case "complete":
+		n, err := single()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.Complete(n), nil
+	case "rr":
+		n, err := single()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.RandomRegular(n, 4, 99), nil
+	case "ccc":
+		d, err := single()
+		if err != nil {
+			return nil, err
+		}
+		return pplb.CCC(d), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q (mesh|torus|hypercube|ring|star|complete|rr|ccc)", name)
+}
+
+func parsePolicy(name string, g *pplb.Graph) (pplb.Policy, error) {
+	switch name {
+	case "pplb":
+		return pplb.NewBalancer(pplb.DefaultBalancerConfig()), nil
+	case "pplb-greedy":
+		cfg := pplb.DefaultBalancerConfig()
+		cfg.Arbiter = pplb.GreedyArbiter{}
+		return pplb.NewBalancer(cfg), nil
+	case "diffusion":
+		return pplb.DiffusionPolicy(0), nil
+	case "dimexchange":
+		return pplb.DimensionExchangePolicy(g), nil
+	case "gm":
+		return pplb.GradientModelPolicy(), nil
+	case "cwn":
+		return pplb.CWNPolicy(0), nil
+	case "random":
+		return pplb.RandomSenderPolicy(), nil
+	case "none":
+		return pplb.NoPolicy(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func parseLoad(name string, n, tasks int, size float64, seed uint64) ([][]float64, error) {
+	switch name {
+	case "hotspot":
+		return pplb.HotspotLoad(n, 0, tasks, size), nil
+	case "multihotspot":
+		return pplb.MultiHotspotLoad(n, 4, tasks, size), nil
+	case "random":
+		return pplb.UniformRandomLoad(n, tasks, size, seed), nil
+	case "staircase":
+		return pplb.StaircaseLoad(n, size), nil
+	case "bimodal":
+		return pplb.BimodalLoad(n, tasks, size, size*8, 0.2, seed), nil
+	case "equal":
+		return pplb.EqualLoad(n, tasks/n, size), nil
+	}
+	return nil, fmt.Errorf("unknown load %q", name)
+}
+
+func main() {
+	topoFlag := flag.String("topology", "torus:8x8", "topology spec: mesh:RxC torus:RxC hypercube:D ring:N star:N complete:N rr:N ccc:D")
+	policyFlag := flag.String("policy", "pplb", "pplb|pplb-greedy|diffusion|dimexchange|gm|cwn|random|none")
+	loadFlag := flag.String("load", "hotspot", "hotspot|multihotspot|random|staircase|bimodal|equal")
+	tasks := flag.Int("tasks", 256, "number of initial tasks")
+	taskSize := flag.Float64("size", 0.5, "load per task")
+	ticks := flag.Int("ticks", 1000, "simulation ticks")
+	seed := flag.Uint64("seed", 1, "run seed")
+	faults := flag.Float64("faults", 0, "uniform link fault probability")
+	service := flag.Float64("service", 0, "per-node service rate (0 = quiescent)")
+	workers := flag.Int("workers", 1, "planning goroutines")
+	csvPath := flag.String("csv", "", "write per-tick series to this CSV file")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "pplb-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	g, err := parseTopology(*topoFlag)
+	if err != nil {
+		fail(err)
+	}
+	policy, err := parsePolicy(*policyFlag, g)
+	if err != nil {
+		fail(err)
+	}
+	init, err := parseLoad(*loadFlag, g.N(), *tasks, *taskSize, *seed)
+	if err != nil {
+		fail(err)
+	}
+	opts := []pplb.Option{
+		pplb.WithInitial(init),
+		pplb.WithSeed(*seed),
+		pplb.WithWorkers(*workers),
+		pplb.WithServiceRate(*service),
+	}
+	if *faults > 0 {
+		opts = append(opts, pplb.WithLinks(pplb.Links(g, pplb.WithUniformFault(*faults))))
+	}
+	sys, err := pplb.NewSystem(g, policy, opts...)
+	if err != nil {
+		fail(err)
+	}
+	cv0 := sys.CV()
+	sys.Run(*ticks)
+
+	c := sys.Counters()
+	tb := ascii.NewTable(fmt.Sprintf("pplb-sim: %s / %s / %s (%d ticks, seed %d)",
+		g.Name(), policy.Name(), *loadFlag, *ticks, *seed),
+		"metric", "value")
+	tb.AddRow("CV start", cv0)
+	tb.AddRow("CV final", sys.CV())
+	tb.AddRow("max load", maxOf(sys.Loads()))
+	tb.AddRow("min load", minOf(sys.Loads()))
+	tb.AddRow("migrations", c.Migrations)
+	tb.AddRow("traffic", c.Traffic)
+	tb.AddRow("faults", c.Faults)
+	tb.AddRow("bounced traffic", c.BouncedTraffic)
+	tb.AddRow("rejected proposals", c.Rejected)
+	if *service > 0 {
+		rt := sys.State().ResponseTimes()
+		tb.AddRow("tasks completed", c.TasksCompleted)
+		tb.AddRow("mean response", rt.Mean())
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("cv trend: %s\n", ascii.Sparkline(sys.Metrics().CV))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := sys.Metrics().Frame().WriteCSV(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+package main
+
+import "testing"
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int
+	}{
+		{"mesh:2x3", 6},
+		{"torus:3x3", 9},
+		{"hypercube:3", 8},
+		{"ring:7", 7},
+		{"star:5", 5},
+		{"complete:4", 4},
+		{"rr:10", 10},
+		{"ccc:3", 24},
+	}
+	for _, c := range cases {
+		g, err := parseTopology(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if g.N() != c.n {
+			t.Fatalf("%s: N=%d want %d", c.spec, g.N(), c.n)
+		}
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, spec := range []string{
+		"blob:3", "mesh:3", "mesh:axb", "torus:", "hypercube:x", "nope",
+	} {
+		if _, err := parseTopology(spec); err == nil {
+			t.Fatalf("%s: expected error", spec)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	g, _ := parseTopology("torus:3x3")
+	for _, name := range []string{
+		"pplb", "pplb-greedy", "diffusion", "dimexchange", "gm", "cwn", "random", "none",
+	} {
+		p, err := parsePolicy(name, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("%s: nil policy", name)
+		}
+	}
+	if _, err := parsePolicy("bogus", g); err == nil {
+		t.Fatal("bogus policy must error")
+	}
+}
+
+func TestParseLoad(t *testing.T) {
+	for _, name := range []string{
+		"hotspot", "multihotspot", "random", "staircase", "bimodal", "equal",
+	} {
+		init, err := parseLoad(name, 8, 16, 0.5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(init) != 8 {
+			t.Fatalf("%s: wrong node count", name)
+		}
+	}
+	if _, err := parseLoad("bogus", 8, 16, 0.5, 1); err == nil {
+		t.Fatal("bogus load must error")
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if maxOf(xs) != 7 || minOf(xs) != -1 {
+		t.Fatal("helpers wrong")
+	}
+}

@@ -1,0 +1,120 @@
+// Command pplb-surface renders the load surface (the M3 manifold of §4.1)
+// of a mesh/torus simulation as ASCII heatmap frames, making the
+// particle-and-plane analogy visible: the hotspot is a hill that erodes as
+// tasks slide into the surrounding valleys.
+//
+// Usage:
+//
+//	pplb-surface [-topology torus:16x16] [-policy pplb] [-ticks 600] [-frames 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pplb"
+	"pplb/internal/ascii"
+	"pplb/internal/linkmodel"
+	"pplb/internal/surface"
+)
+
+func main() {
+	topoFlag := flag.String("topology", "torus:16x16", "mesh:RxC or torus:RxC")
+	policyFlag := flag.String("policy", "pplb", "pplb|diffusion|dimexchange|gm|cwn|random|none")
+	tasks := flag.Int("tasks", 512, "initial tasks at the hotspot")
+	ticks := flag.Int("ticks", 600, "total simulation ticks")
+	frames := flag.Int("frames", 8, "number of heatmap frames to print")
+	seed := flag.Uint64("seed", 1, "run seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "pplb-surface: %v\n", err)
+		os.Exit(1)
+	}
+
+	var rows, cols int
+	var mk func(int, int) *pplb.Graph
+	switch {
+	case strings.HasPrefix(*topoFlag, "mesh:"):
+		mk = pplb.Mesh
+		if _, err := fmt.Sscanf(*topoFlag, "mesh:%dx%d", &rows, &cols); err != nil {
+			fail(fmt.Errorf("bad topology %q", *topoFlag))
+		}
+	case strings.HasPrefix(*topoFlag, "torus:"):
+		mk = pplb.Torus
+		if _, err := fmt.Sscanf(*topoFlag, "torus:%dx%d", &rows, &cols); err != nil {
+			fail(fmt.Errorf("bad topology %q", *topoFlag))
+		}
+	default:
+		fail(fmt.Errorf("surface rendering needs a mesh or torus, got %q", *topoFlag))
+	}
+	g := mk(rows, cols)
+
+	var policy pplb.Policy
+	switch *policyFlag {
+	case "pplb":
+		policy = pplb.NewBalancer(pplb.DefaultBalancerConfig())
+	case "diffusion":
+		policy = pplb.DiffusionPolicy(0)
+	case "dimexchange":
+		policy = pplb.DimensionExchangePolicy(g)
+	case "gm":
+		policy = pplb.GradientModelPolicy()
+	case "cwn":
+		policy = pplb.CWNPolicy(0)
+	case "random":
+		policy = pplb.RandomSenderPolicy()
+	case "none":
+		policy = pplb.NoPolicy()
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policyFlag))
+	}
+
+	// Hotspot in the middle of the grid.
+	centre := (rows/2)*cols + cols/2
+	sys, err := pplb.NewSystem(g, policy,
+		pplb.WithInitial(pplb.HotspotLoad(g.N(), centre, *tasks, 0.5)),
+		pplb.WithSeed(*seed),
+	)
+	if err != nil {
+		fail(err)
+	}
+
+	if *frames < 1 {
+		*frames = 1
+	}
+	step := *ticks / *frames
+	if step < 1 {
+		step = 1
+	}
+	// The M3 manifold view (§4.1): heights laid out on the mesh grid.
+	links := linkmodel.New(g)
+	printFrame := func() {
+		surf := surface.New(g, links, surface.SliceHeights(sys.Heights()))
+		grid, ok := surf.GridHeights()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "pplb-surface: internal error: not a grid topology")
+			os.Exit(1)
+		}
+		ascii.Heatmap(os.Stdout, fmt.Sprintf("tick %d  cv=%.3f", sys.State().Tick(), sys.CV()), grid)
+		fmt.Println()
+	}
+	printFrame()
+	for done := 0; done < *ticks; done += step {
+		n := step
+		if done+n > *ticks {
+			n = *ticks - done
+		}
+		sys.Run(n)
+		printFrame()
+	}
+	fmt.Printf("final: %s\n", summaryLine(sys))
+}
+
+func summaryLine(sys *pplb.System) string {
+	c := sys.Counters()
+	return fmt.Sprintf("cv=%.4f migrations=%d traffic=%.4g faults=%d",
+		sys.CV(), c.Migrations, c.Traffic, c.Faults)
+}

@@ -1,0 +1,71 @@
+// Quickstart: balance a hotspot on an 8x8 torus with the particle-and-plane
+// balancer and watch the imbalance decay.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pplb"
+)
+
+func main() {
+	// An 8x8 torus of 64 processors. 512 tasks of load 0.5 all start on one
+	// node — the worst-case hotspot.
+	g := pplb.Torus(8, 8)
+	sys, err := pplb.NewSystem(g,
+		pplb.NewBalancer(pplb.DefaultBalancerConfig()),
+		pplb.WithInitial(pplb.HotspotLoad(g.N(), 0, 512, 0.5)),
+		pplb.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("start: CV=%.3f (max %.1f / mean %.1f)\n",
+		sys.CV(), max(sys.Loads()), mean(sys.Loads()))
+
+	// Run until the coefficient of variation of node loads drops below 0.2,
+	// i.e. the surface is nearly flat.
+	ticks, ok := sys.RunUntilBalanced(0.2, 5000)
+	if !ok {
+		log.Fatalf("did not balance in %d ticks (CV=%.3f)", ticks, sys.CV())
+	}
+
+	c := sys.Counters()
+	fmt.Printf("balanced after %d ticks: CV=%.3f\n", ticks, sys.CV())
+	fmt.Printf("cost: %d migrations, %.1f traffic (load x link cost)\n",
+		c.Migrations, c.Traffic)
+	fmt.Printf("loads: min %.1f  max %.1f  mean %.1f\n",
+		min(sys.Loads()), max(sys.Loads()), mean(sys.Loads()))
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,276 @@
+// Package arbiter implements the stochastic arbitrator function of §5.2.
+//
+// When a node must pick one of several feasible slopes, the paper does not
+// apply the vector sum of forces; instead "after calculating the parameters
+// (angle) of each slope independently, the object chooses the choicest slope
+// stochastically using an arbiter function". The arbiter:
+//
+//   - gives "most of the chance to the links which are the steepest" but
+//     "considers some rare probabilities for choosing the less steep slopes";
+//   - is built on "a probabilistic model of free trials" where "the
+//     probability of success for each trial is not fixed";
+//   - anneals: "the rigidity of the correct values increases over time in an
+//     attempt to make the system converge to an optimal solution", with an
+//     initial exploration probability β0, a horizon t_max and a rate c.
+//
+// Equation reconstruction. The camera-ready formulas for p_{i,k}(t) are
+// typographically corrupted in the only available copy of the paper, so this
+// implementation reconstructs them from the surrounding prose, keeping every
+// property the text states. Scores are sorted descending (a_1 steepest);
+// with spread-normalised closeness s_k = (a_k − a_min)/(a_max − a_min) and
+// cooling temperature
+//
+//	β(t) = β0 · exp(−c · t / t_max),  0 < β0 < 1,
+//
+// trial k succeeds with probability q_k(t) = 1 − β(t)^{ε + (1−ε)·s_k}, with
+// a small exploration floor ε so that even the flattest feasible slope keeps
+// the "rare probability" the prose demands. Trials run down the sorted list
+// and repeat until one succeeds ("free trials"), giving the choice
+// distribution p_k ∝ q_k · Π_{x<k}(1 − q_x). As t → ∞, β → 0, every q_k → 1
+// and the first trial (the steepest slope) always wins: the arbiter
+// converges to the rigid maximum exactly as the paper requires.
+package arbiter
+
+import (
+	"math"
+	"sort"
+
+	"pplb/internal/rng"
+)
+
+// Chooser selects one index from a non-empty score slice (higher score =
+// steeper slope = more attractive). Implementations must be deterministic
+// given the same scores, tick and RNG state.
+type Chooser interface {
+	Name() string
+	Choose(scores []float64, t int64, r *rng.RNG) int
+}
+
+// Greedy always picks the highest score (ties: lowest index). It is the
+// rigid limit of the stochastic arbiter and serves as the determinism
+// ablation in E12.
+type Greedy struct{}
+
+// Name implements Chooser.
+func (Greedy) Name() string { return "greedy" }
+
+// Choose implements Chooser; the RNG is unused.
+func (Greedy) Choose(scores []float64, _ int64, _ *rng.RNG) int {
+	if len(scores) == 0 {
+		panic("arbiter: Choose on empty scores")
+	}
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Stochastic is the annealing arbiter of §5.2.
+type Stochastic struct {
+	// Beta0 is the initial probability weight of choosing a link other than
+	// the steepest one, 0 < β0 < 1. Values outside are clamped.
+	Beta0 float64
+	// C controls the convergence rate of the cooling schedule.
+	C float64
+	// TMax is the cooling horizon: together with C it sets how fast the
+	// exploration temperature decays. TMax <= 0 disables exploration.
+	TMax float64
+}
+
+// DefaultStochastic returns the arbiter configuration used by the
+// experiments unless a sweep overrides it.
+func DefaultStochastic() Stochastic {
+	return Stochastic{Beta0: 0.3, C: 3, TMax: 1000}
+}
+
+// Name implements Chooser.
+func (s Stochastic) Name() string { return "stochastic" }
+
+// Beta returns the exploration temperature β(t) = β0·exp(−c·t/t_max),
+// clamped into [0, 1).
+func (s Stochastic) Beta(t int64) float64 {
+	b0 := s.Beta0
+	if b0 <= 0 {
+		return 0
+	}
+	if b0 >= 1 {
+		b0 = 1 - 1e-9
+	}
+	if s.TMax <= 0 {
+		return 0
+	}
+	b := b0 * math.Exp(-s.C*float64(t)/s.TMax)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Probabilities returns the analytic choice distribution over the given
+// scores at tick t. The slice sums to 1 and is indexed like scores.
+func (s Stochastic) Probabilities(scores []float64, t int64) []float64 {
+	m := len(scores)
+	if m == 0 {
+		return nil
+	}
+	probs := make([]float64, m)
+	if m == 1 {
+		probs[0] = 1
+		return probs
+	}
+	lo, hi := scores[0], scores[0]
+	for _, v := range scores {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		// No information: all slopes equally attractive.
+		for i := range probs {
+			probs[i] = 1 / float64(m)
+		}
+		return probs
+	}
+	beta := s.Beta(t)
+	// Rank order: descending score, ascending index on ties (determinism).
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	if beta <= 0 {
+		probs[order[0]] = 1
+		return probs
+	}
+	// Free-trials distribution: w_k = q_k · Π_{x<k}(1−q_x), renormalised
+	// (trials repeat until success). The ε floor keeps the flattest slope's
+	// success probability positive.
+	const eps = 0.1
+	remain := 1.0
+	total := 0.0
+	w := make([]float64, m)
+	for k, idx := range order {
+		sk := (scores[idx] - lo) / (hi - lo)
+		qk := 1 - math.Pow(beta, eps+(1-eps)*sk)
+		w[k] = remain * qk
+		total += w[k]
+		remain *= 1 - qk
+	}
+	if total <= 0 {
+		// Degenerate (β→1): uniform.
+		for i := range probs {
+			probs[i] = 1 / float64(m)
+		}
+		return probs
+	}
+	for k, idx := range order {
+		probs[idx] = w[k] / total
+	}
+	return probs
+}
+
+// Choose implements Chooser by sampling from Probabilities.
+func (s Stochastic) Choose(scores []float64, t int64, r *rng.RNG) int {
+	if len(scores) == 0 {
+		panic("arbiter: Choose on empty scores")
+	}
+	probs := s.Probabilities(scores, t)
+	u := r.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(scores) - 1 // numerical tail
+}
+
+// Boltzmann is an alternative annealing arbiter (extension): softmax
+// selection with temperature τ(t) = τ0·exp(−c·t/t_max). The paper only
+// requires *an* arbiter that explores early and hardens over time; Boltzmann
+// selection is the standard such rule in simulated annealing and serves as a
+// design-alternative ablation against the free-trials arbiter of §5.2.
+type Boltzmann struct {
+	// Tau0 is the initial temperature (in score units); <= 0 degenerates to
+	// greedy.
+	Tau0 float64
+	// C and TMax control the exponential cooling as in Stochastic.
+	C    float64
+	TMax float64
+}
+
+// Name implements Chooser.
+func (b Boltzmann) Name() string { return "boltzmann" }
+
+// Tau returns the temperature at tick t.
+func (b Boltzmann) Tau(t int64) float64 {
+	if b.Tau0 <= 0 || b.TMax <= 0 {
+		return 0
+	}
+	return b.Tau0 * math.Exp(-b.C*float64(t)/b.TMax)
+}
+
+// Probabilities returns the softmax distribution over scores at tick t.
+func (b Boltzmann) Probabilities(scores []float64, t int64) []float64 {
+	m := len(scores)
+	if m == 0 {
+		return nil
+	}
+	probs := make([]float64, m)
+	tau := b.Tau(t)
+	if tau <= 1e-12 {
+		best := Greedy{}.Choose(scores, t, nil)
+		probs[best] = 1
+		return probs
+	}
+	// Subtract the max for numerical stability.
+	hi := scores[0]
+	for _, s := range scores {
+		if s > hi {
+			hi = s
+		}
+	}
+	total := 0.0
+	for i, s := range scores {
+		probs[i] = math.Exp((s - hi) / tau)
+		total += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return probs
+}
+
+// Choose implements Chooser by sampling the softmax distribution.
+func (b Boltzmann) Choose(scores []float64, t int64, r *rng.RNG) int {
+	if len(scores) == 0 {
+		panic("arbiter: Choose on empty scores")
+	}
+	probs := b.Probabilities(scores, t)
+	if r == nil {
+		return Greedy{}.Choose(scores, t, nil)
+	}
+	u := r.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// compile-time interface checks
+var (
+	_ Chooser = Greedy{}
+	_ Chooser = Stochastic{}
+	_ Chooser = Boltzmann{}
+)

@@ -1,0 +1,300 @@
+package arbiter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pplb/internal/rng"
+)
+
+func TestGreedyArgmax(t *testing.T) {
+	g := Greedy{}
+	if got := g.Choose([]float64{1, 5, 3}, 0, nil); got != 1 {
+		t.Fatalf("greedy = %d", got)
+	}
+	// Tie-break: lowest index.
+	if got := g.Choose([]float64{5, 5, 3}, 0, nil); got != 0 {
+		t.Fatalf("greedy tie = %d", got)
+	}
+	if got := g.Choose([]float64{-2}, 0, nil); got != 0 {
+		t.Fatalf("greedy single = %d", got)
+	}
+}
+
+func TestGreedyPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Greedy{}.Choose(nil, 0, nil)
+}
+
+func TestBetaCooling(t *testing.T) {
+	s := Stochastic{Beta0: 0.5, C: 2, TMax: 100}
+	if b := s.Beta(0); math.Abs(b-0.5) > 1e-12 {
+		t.Fatalf("β(0) = %v", b)
+	}
+	if !(s.Beta(50) < s.Beta(10)) {
+		t.Fatal("β must decay with t")
+	}
+	if s.Beta(100000) > 1e-10 {
+		t.Fatal("β must approach 0")
+	}
+}
+
+func TestBetaEdgeCases(t *testing.T) {
+	if (Stochastic{Beta0: 0, C: 1, TMax: 10}).Beta(0) != 0 {
+		t.Fatal("β0=0 must give 0")
+	}
+	if (Stochastic{Beta0: 0.5, C: 1, TMax: 0}).Beta(0) != 0 {
+		t.Fatal("TMax=0 must disable exploration")
+	}
+	if b := (Stochastic{Beta0: 7, C: 1, TMax: 10}).Beta(0); b >= 1 {
+		t.Fatalf("β0>1 must clamp below 1, got %v", b)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	s := DefaultStochastic()
+	for _, scores := range [][]float64{
+		{1, 2, 3},
+		{5},
+		{0, 0, 0},
+		{-3, 7, 2, 2},
+	} {
+		for _, tick := range []int64{0, 10, 500, 100000} {
+			probs := s.Probabilities(scores, tick)
+			sum := 0.0
+			for _, p := range probs {
+				if p < 0 {
+					t.Fatalf("negative probability %v", p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("probs sum to %v for %v at t=%d", sum, scores, tick)
+			}
+		}
+	}
+}
+
+func TestProbabilitiesMonotoneInScore(t *testing.T) {
+	s := DefaultStochastic()
+	probs := s.Probabilities([]float64{1, 4, 2, 3}, 0)
+	// Order of probability must follow order of score: idx1 > idx3 > idx2 > idx0.
+	if !(probs[1] >= probs[3] && probs[3] >= probs[2] && probs[2] >= probs[0]) {
+		t.Fatalf("probabilities not monotone in score: %v", probs)
+	}
+	if probs[1] <= probs[0] {
+		t.Fatalf("steepest must strictly dominate flattest: %v", probs)
+	}
+}
+
+func TestConvergenceToRigidMaximum(t *testing.T) {
+	s := Stochastic{Beta0: 0.5, C: 3, TMax: 100}
+	probs := s.Probabilities([]float64{1, 4, 2}, 1_000_000)
+	if probs[1] < 0.999999 {
+		t.Fatalf("late-time arbiter must be rigid argmax, got %v", probs)
+	}
+}
+
+func TestEarlyExploration(t *testing.T) {
+	s := Stochastic{Beta0: 0.9, C: 1, TMax: 1000}
+	probs := s.Probabilities([]float64{1, 4, 2}, 0)
+	if probs[0] <= 0 || probs[2] <= 0 {
+		t.Fatalf("early arbiter must explore all links: %v", probs)
+	}
+	if probs[1] >= 1 {
+		t.Fatalf("early arbiter must not be rigid: %v", probs)
+	}
+}
+
+func TestEqualScoresUniform(t *testing.T) {
+	s := DefaultStochastic()
+	probs := s.Probabilities([]float64{2, 2, 2, 2}, 5)
+	for _, p := range probs {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Fatalf("equal scores must be uniform: %v", probs)
+		}
+	}
+}
+
+func TestSingleCandidate(t *testing.T) {
+	s := DefaultStochastic()
+	if p := s.Probabilities([]float64{3}, 0); p[0] != 1 {
+		t.Fatalf("single candidate prob = %v", p)
+	}
+	r := rng.New(1)
+	if got := s.Choose([]float64{3}, 0, r); got != 0 {
+		t.Fatalf("single candidate choose = %d", got)
+	}
+}
+
+func TestChooseMatchesProbabilities(t *testing.T) {
+	s := Stochastic{Beta0: 0.8, C: 1, TMax: 1000}
+	scores := []float64{1, 3, 2}
+	probs := s.Probabilities(scores, 0)
+	r := rng.New(42)
+	counts := make([]int, 3)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[s.Choose(scores, 0, r)]++
+	}
+	for i := range counts {
+		got := float64(counts[i]) / n
+		if math.Abs(got-probs[i]) > 0.01 {
+			t.Fatalf("empirical %v vs analytic %v at %d", got, probs[i], i)
+		}
+	}
+}
+
+func TestChooseDeterministicGivenSeed(t *testing.T) {
+	s := DefaultStochastic()
+	scores := []float64{1, 2, 3, 4}
+	a, b := rng.New(7), rng.New(7)
+	for i := 0; i < 100; i++ {
+		if s.Choose(scores, int64(i), a) != s.Choose(scores, int64(i), b) {
+			t.Fatal("Choose must be deterministic given RNG state")
+		}
+	}
+}
+
+func TestChoosePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultStochastic().Choose(nil, 0, rng.New(1))
+}
+
+// Property: the steepest link's probability is non-decreasing in t (cooling
+// only sharpens the distribution).
+func TestCoolingSharpensQuick(t *testing.T) {
+	s := Stochastic{Beta0: 0.7, C: 2, TMax: 500}
+	f := func(a, b, c uint8, t1, t2 uint16) bool {
+		scores := []float64{float64(a), float64(b), float64(c)}
+		if a == b && b == c {
+			return true // uniform at all times
+		}
+		lo, hi := int64(t1), int64(t2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pLo := s.Probabilities(scores, lo)
+		pHi := s.Probabilities(scores, hi)
+		best := Greedy{}.Choose(scores, 0, nil)
+		return pHi[best] >= pLo[best]-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: probabilities are a valid distribution for arbitrary inputs.
+func TestProbabilitiesValidQuick(t *testing.T) {
+	r := rng.New(99)
+	f := func(n uint8, tick uint16) bool {
+		m := int(n%6) + 1
+		scores := make([]float64, m)
+		for i := range scores {
+			scores[i] = r.Range(-50, 50)
+		}
+		probs := DefaultStochastic().Probabilities(scores, int64(tick))
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoltzmannDistribution(t *testing.T) {
+	b := Boltzmann{Tau0: 1, C: 2, TMax: 100}
+	probs := b.Probabilities([]float64{1, 3, 2}, 0)
+	sum := 0.0
+	for _, p := range probs {
+		if p <= 0 {
+			t.Fatalf("warm Boltzmann must explore everything: %v", probs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+	if !(probs[1] > probs[2] && probs[2] > probs[0]) {
+		t.Fatalf("softmax not monotone in score: %v", probs)
+	}
+}
+
+func TestBoltzmannCoolsToGreedy(t *testing.T) {
+	b := Boltzmann{Tau0: 1, C: 3, TMax: 100}
+	probs := b.Probabilities([]float64{1, 3, 2}, 1_000_000)
+	if probs[1] != 1 {
+		t.Fatalf("cold Boltzmann must be argmax: %v", probs)
+	}
+	// Tau0 <= 0 degenerates to greedy at any tick.
+	g := Boltzmann{}
+	if g.Probabilities([]float64{1, 3, 2}, 0)[1] != 1 {
+		t.Fatal("zero-temperature Boltzmann must be greedy")
+	}
+}
+
+func TestBoltzmannChooseMatches(t *testing.T) {
+	b := Boltzmann{Tau0: 1, C: 1, TMax: 1000}
+	scores := []float64{0, 1}
+	probs := b.Probabilities(scores, 0)
+	r := rng.New(8)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if b.Choose(scores, 0, r) == 1 {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-probs[1]) > 0.01 {
+		t.Fatalf("empirical %v vs analytic %v", float64(hits)/n, probs[1])
+	}
+}
+
+func TestBoltzmannPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Boltzmann{Tau0: 1, TMax: 1}.Choose(nil, 0, rng.New(1))
+}
+
+func TestBoltzmannNumericalStability(t *testing.T) {
+	b := Boltzmann{Tau0: 0.001, C: 0, TMax: 1}
+	probs := b.Probabilities([]float64{1e6, 2e6, 1.5e6}, 0)
+	sum := 0.0
+	for _, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("unstable softmax: %v", probs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func BenchmarkStochasticChoose(b *testing.B) {
+	s := DefaultStochastic()
+	r := rng.New(1)
+	scores := []float64{1, 5, 3, 2, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Choose(scores, int64(i), r)
+	}
+}

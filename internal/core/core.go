@@ -1,0 +1,326 @@
+// Package core implements the paper's primary contribution: the Particle &
+// Plane Load Balancer (PPLB) of Section 5.
+//
+// Every decision is the load-balancing translation of a physics rule:
+//
+//   - Stationary rule (start of a slide). A task l on node i may begin
+//     moving towards neighbour j only if the transfer-adjusted gradient
+//     clears static friction:
+//
+//     (h(v_i) − h(v_j) − 2·l) / e_ij  >  µs(l, v_i)
+//
+//     where µs is the task's affinity to its node — its dependency weight to
+//     co-located tasks (T matrix) plus its resource affinity (R matrix) —
+//     and e_ij is the composite link cost of §4.2 (length/bandwidth/fault).
+//     The −2l term is the paper's correction for the dynamic surface: the
+//     move lowers the source and raises the destination by l each.
+//
+//   - Energy flag. When a slide starts, the task's potential height h* is
+//     initialised to the current height h(v_i) ("the flag is initialized at
+//     the start of the game with the height of the initial position"), and
+//     every hop subtracts the friction loss E_h/(m·g) = µk·e_ij.
+//
+//   - In-motion rule (inertia). A task that arrived still moving may
+//     continue to any neighbour whose height its remaining energy reaches:
+//
+//     a_j = h*_prev − µk·e_ij − h(v_j)  >  0
+//
+//     letting a fast task climb over a moderately loaded node into a valley
+//     beyond — the multi-hop behaviour that distinguishes PPLB from purely
+//     local gradient methods. Like the physical particle, a sliding task
+//     does not immediately backtrack to the node it just left; if no other
+//     feasible link exists it settles (the bounce dissipates its energy).
+//
+//   - Stochastic arbiter. Among feasible slopes the choice is made by the
+//     annealing arbiter of §5.2 (steepest-biased early exploration, rigid
+//     argmax as t → ∞).
+//
+// The kinetic friction constant couples to static friction (µk ∝ µs, "which
+// is interestingly also true in the physical world") plus a floor Ck0
+// representing the irreducible communication cost of any hop.
+package core
+
+import (
+	"pplb/internal/arbiter"
+	"pplb/internal/rng"
+	"pplb/internal/sim"
+	"pplb/internal/taskmodel"
+)
+
+// Config holds the physical constants of the PPLB model. The zero value is
+// usable (all frictions zero, defaults applied by New); start from
+// DefaultConfig for the experiment settings.
+type Config struct {
+	// G is gravitational acceleration; load heights and energies scale with
+	// it uniformly so 1 is the natural unit.
+	G float64
+
+	// CsT and CsR weight the two components of static friction µs:
+	// dependency to co-located tasks (Σ T) and resource affinity (R).
+	CsT float64
+	CsR float64
+
+	// CkProp couples kinetic friction to static friction (µk ∝ µs), and Ck0
+	// is the friction floor every hop pays regardless of dependencies.
+	CkProp float64
+	Ck0    float64
+
+	// Arbiter chooses among feasible slopes. Nil means the annealing
+	// stochastic arbiter with default parameters.
+	Arbiter arbiter.Chooser
+
+	// MaxMovesPerNode caps how many tasks one node may launch per tick
+	// (0 = one per free link, the paper's single-load-per-link limit).
+	MaxMovesPerNode int
+
+	// DisableInertia turns off the in-motion continuation rule: tasks
+	// settle after every hop (ablation E12: "−inertia").
+	DisableInertia bool
+
+	// FaultOblivious makes the balancer read link costs without the
+	// reliability factor (ablation E12: "−fault-aware e_ij").
+	FaultOblivious bool
+
+	// DisableTransferAdjustment drops the −2l term from the stationary
+	// criterion (ablation E12: "−2l guard"), i.e. the balancer ignores the
+	// surface being dynamic and may thrash loads back and forth.
+	DisableTransferAdjustment bool
+
+	// EnergyDamping in (0,1) makes landings inelastic: on every hop the
+	// task keeps only this fraction of its kinetic energy (flag height
+	// above the destination). The paper's model is lossless (damping 1 —
+	// also the meaning of 0, the zero value): a task released from a tall
+	// hotspot can wander very far before friction drains it; damping trades
+	// a little final balance for much less transit traffic. Extension knob,
+	// quantified in the E12 ablations.
+	EnergyDamping float64
+}
+
+// DefaultConfig returns the configuration used by the experiments unless a
+// sweep overrides specific constants.
+func DefaultConfig() Config {
+	return Config{
+		G:      1,
+		CsT:    1,
+		CsR:    1,
+		CkProp: 0.1,
+		Ck0:    0.05,
+	}
+}
+
+// Balancer is the PPLB policy; it implements sim.Policy.
+type Balancer struct {
+	cfg     Config
+	chooser arbiter.Chooser
+}
+
+// New returns a PPLB balancer with the given configuration.
+func New(cfg Config) *Balancer {
+	ch := cfg.Arbiter
+	if ch == nil {
+		ch = arbiter.DefaultStochastic()
+	}
+	if cfg.G <= 0 {
+		cfg.G = 1
+	}
+	return &Balancer{cfg: cfg, chooser: ch}
+}
+
+// Name implements sim.Policy.
+func (b *Balancer) Name() string { return "pplb" }
+
+// Config returns the balancer's configuration.
+func (b *Balancer) Config() Config { return b.cfg }
+
+// linkCost returns e_ij under the configured fault awareness.
+func (b *Balancer) linkCost(view *sim.View, i, j int) float64 {
+	if b.cfg.FaultOblivious {
+		return view.Links().CostOblivious(i, j)
+	}
+	return view.Links().Cost(i, j)
+}
+
+// MuS returns the static friction of task t on node v (§4.2):
+//
+//	µs(l_t, v) = CsT · Σ_{u ≠ t co-located} T[t][u] + CsR · R[t][v]
+func (b *Balancer) MuS(view *sim.View, t *taskmodel.Task, v int) float64 {
+	mu := 0.0
+	if tg := view.TaskGraph(); tg != nil && b.cfg.CsT != 0 {
+		mu += b.cfg.CsT * tg.WeightToSet(t.ID, view.TaskIDSet(v))
+	}
+	if res := view.Resources(); res != nil && b.cfg.CsR != 0 {
+		mu += b.cfg.CsR * res.Affinity(t.ID, v)
+	}
+	return mu
+}
+
+// MuK returns the kinetic friction of task t leaving node v:
+//
+//	µk = Ck0 + CkProp · µs(t, v)
+func (b *Balancer) MuK(view *sim.View, t *taskmodel.Task, v int) float64 {
+	return b.cfg.Ck0 + b.cfg.CkProp*b.MuS(view, t, v)
+}
+
+// dampFlag applies the inelastic-landing extension: the flag keeps only
+// EnergyDamping of its kinetic component (height above the destination).
+func (b *Balancer) dampFlag(flag, destHeight float64) float64 {
+	d := b.cfg.EnergyDamping
+	if d <= 0 || d >= 1 {
+		return flag
+	}
+	if k := flag - destHeight; k > 0 {
+		return destHeight + d*k
+	}
+	return flag
+}
+
+// PlanNode implements sim.Policy: one tick of PPLB decisions for node v.
+func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
+	tasks := view.Tasks(v)
+	if len(tasks) == 0 {
+		return nil
+	}
+	neighbors := view.Graph().Neighbors(v)
+	if len(neighbors) == 0 {
+		return nil
+	}
+
+	var moves []sim.Move
+	usedLink := make(map[int]bool, len(neighbors))
+	// Projected height of v after the departures already planned this tick.
+	hv := view.Height(v)
+	// Projected neighbour heights after arrivals planned this tick.
+	hn := make(map[int]float64, len(neighbors))
+	for _, j := range neighbors {
+		hn[j] = view.Height(j)
+	}
+	maxMoves := b.cfg.MaxMovesPerNode
+	if maxMoves <= 0 {
+		maxMoves = len(neighbors)
+	}
+
+	// Pass 1: in-motion tasks (inertia continuation) — they carry momentum
+	// and decide first, exactly as the physical particle in flight.
+	if !b.cfg.DisableInertia {
+		for _, t := range tasks {
+			if len(moves) >= maxMoves {
+				break
+			}
+			if !t.Moving {
+				continue
+			}
+			muK := b.MuK(view, t, v)
+			var cand []int
+			var scores []float64
+			for _, j := range neighbors {
+				if usedLink[j] || view.LinkBusy(v, j) || j == t.Prev {
+					continue
+				}
+				a := t.Flag - muK*b.linkCost(view, v, j) - hn[j]
+				if a > 0 {
+					cand = append(cand, j)
+					scores = append(scores, a)
+				}
+			}
+			if len(cand) == 0 {
+				continue // settles: engine clears the Moving bit
+			}
+			pick := b.chooser.Choose(scores, view.Tick(), r)
+			j := cand[pick]
+			newFlag := b.dampFlag(t.Flag-muK*b.linkCost(view, v, j), hn[j])
+			moves = append(moves, sim.Move{
+				TaskID: t.ID, From: v, To: j,
+				NewFlag: newFlag, Moving: true,
+			})
+			usedLink[j] = true
+			hv -= t.Load / view.Speed(v)
+			hn[j] += t.Load / view.Speed(j)
+		}
+	}
+
+	// Pass 2: stationary tasks, heaviest first (the highest-pressure
+	// particles are released first).
+	for _, t := range byLoadDesc(tasks) {
+		if len(moves) >= maxMoves {
+			break
+		}
+		if t.Moving && !b.cfg.DisableInertia {
+			continue // handled in pass 1
+		}
+		muS := b.MuS(view, t, v)
+		muK := b.MuK(view, t, v)
+		var cand []int
+		var scores []float64
+		// The −2l correction generalised to heterogeneous speeds: moving
+		// load L lowers the source surface by L/s_i and raises the
+		// destination by L/s_j (both equal L on homogeneous systems).
+		srcDrop := t.Load / view.Speed(v)
+		for _, j := range neighbors {
+			if usedLink[j] || view.LinkBusy(v, j) {
+				continue
+			}
+			adj := srcDrop + t.Load/view.Speed(j)
+			if b.cfg.DisableTransferAdjustment {
+				adj = 0
+			}
+			e := b.linkCost(view, v, j)
+			tanBeta := (hv - hn[j] - adj) / e
+			if tanBeta > muS {
+				cand = append(cand, j)
+				scores = append(scores, tanBeta-muS)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		pick := b.chooser.Choose(scores, view.Tick(), r)
+		j := cand[pick]
+		// A new game starts: h* = h(v_i), minus the first hop's friction.
+		newFlag := b.dampFlag(hv-muK*b.linkCost(view, v, j), hn[j])
+		moves = append(moves, sim.Move{
+			TaskID: t.ID, From: v, To: j,
+			NewFlag: newFlag, Moving: !b.cfg.DisableInertia,
+		})
+		usedLink[j] = true
+		hv -= t.Load / view.Speed(v)
+		hn[j] += t.Load / view.Speed(j)
+	}
+	return moves
+}
+
+// byLoadDesc returns tasks ordered by descending load, stable on id.
+func byLoadDesc(tasks []*taskmodel.Task) []*taskmodel.Task {
+	out := append([]*taskmodel.Task(nil), tasks...)
+	// Insertion sort keeps this allocation-light for the typical short
+	// queues; determinism requires the id tiebreak.
+	for i := 1; i < len(out); i++ {
+		t := out[i]
+		j := i - 1
+		for j >= 0 && (out[j].Load < t.Load || (out[j].Load == t.Load && out[j].ID > t.ID)) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = t
+	}
+	return out
+}
+
+// FeasibleStationary reports whether the paper's stationary criterion allows
+// moving task t from i to j given the current view, and returns the adjusted
+// gradient. Exposed for tests and the experiment harness.
+func (b *Balancer) FeasibleStationary(view *sim.View, t *taskmodel.Task, i, j int) (float64, bool) {
+	e := b.linkCost(view, i, j)
+	adjust := t.Load/view.Speed(i) + t.Load/view.Speed(j)
+	tanBeta := (view.Height(i) - view.Height(j) - adjust) / e
+	return tanBeta, tanBeta > b.MuS(view, t, i)
+}
+
+// FeasibleMoving reports whether the in-motion criterion allows task t
+// (resident on i with flag h*) to continue to j, returning the score a_j.
+func (b *Balancer) FeasibleMoving(view *sim.View, t *taskmodel.Task, i, j int) (float64, bool) {
+	a := t.Flag - b.MuK(view, t, i)*b.linkCost(view, i, j) - view.Height(j)
+	return a, a > 0
+}
+
+// ensure interface compliance
+var _ sim.Policy = (*Balancer)(nil)

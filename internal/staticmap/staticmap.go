@@ -1,0 +1,287 @@
+// Package staticmap implements the *other* class of solutions from the
+// paper's introduction: static mapping. "Given a parallel program with m
+// communicating tasks and a multicomputer with n<m processors, the problem
+// of static mapping is to find a mapping of the tasks to the processors
+// such that the program's execution time be minimized … reduced to a
+// sophisticated version of the Knapsack problem and hence it lies in the
+// region of NP-hard problems. Heuristic algorithms … use modern
+// optimization heuristics such as Simulated Annealing or Genetic
+// Algorithms" (§1, citing Bultan & Aykanat and Mühlenbein et al.).
+//
+// The package provides the classical pipeline: a makespan+communication
+// cost model, an LPT (longest processing time) greedy seed, and a
+// simulated-annealing optimiser. Experiment E14 uses it to demonstrate the
+// paper's core motivation: a statically optimal mapping is excellent for
+// the workload it was computed for and helpless when the workload shifts,
+// which is exactly the gap dynamic balancing (PPLB) fills.
+package staticmap
+
+import (
+	"fmt"
+	"math"
+
+	"pplb/internal/rng"
+	"pplb/internal/taskmodel"
+	"pplb/internal/topology"
+)
+
+// Problem is a static mapping instance: m tasks with loads and mutual
+// communication demands, to be placed on the nodes of G.
+type Problem struct {
+	G *topology.Graph
+	// Loads[t] is the computational load of task t (ids 0..m-1).
+	Loads []float64
+	// Comm is the task-communication matrix T (nil = independent tasks).
+	Comm *taskmodel.Graph
+	// Lambda trades communication cost against makespan in the objective
+	// (0 = pure load balance).
+	Lambda float64
+	// Speeds are optional per-node processing speeds (nil = uniform 1).
+	Speeds []float64
+
+	dist [][]int // all-pairs hop distances, lazily built
+}
+
+// Assignment maps each task id to a node.
+type Assignment []int
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	return append(Assignment(nil), a...)
+}
+
+// Validate panics if the problem is malformed.
+func (p *Problem) Validate() {
+	if p.G == nil || p.G.N() == 0 {
+		panic("staticmap: problem needs a topology")
+	}
+	if len(p.Loads) == 0 {
+		panic("staticmap: problem needs tasks")
+	}
+	if p.Speeds != nil && len(p.Speeds) != p.G.N() {
+		panic(fmt.Sprintf("staticmap: %d speeds for %d nodes", len(p.Speeds), p.G.N()))
+	}
+}
+
+func (p *Problem) speed(v int) float64 {
+	if p.Speeds == nil {
+		return 1
+	}
+	return p.Speeds[v]
+}
+
+// distances lazily computes all-pairs hop distances by BFS from each node.
+func (p *Problem) distances() [][]int {
+	if p.dist == nil {
+		n := p.G.N()
+		p.dist = make([][]int, n)
+		for v := 0; v < n; v++ {
+			p.dist[v] = p.G.BFSDistances(v)
+		}
+	}
+	return p.dist
+}
+
+// NodeLoads returns the per-node summed load under assignment a.
+func (p *Problem) NodeLoads(a Assignment) []float64 {
+	loads := make([]float64, p.G.N())
+	for t, v := range a {
+		loads[v] += p.Loads[t]
+	}
+	return loads
+}
+
+// Makespan returns max_v load(v)/speed(v): the finishing time of the
+// slowest node, the quantity static mapping minimises.
+func (p *Problem) Makespan(a Assignment) float64 {
+	m := 0.0
+	for v, l := range p.NodeLoads(a) {
+		if h := l / p.speed(v); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// CommCost returns Σ over dependent task pairs of weight × hop distance
+// between their nodes — co-located pairs cost nothing.
+func (p *Problem) CommCost(a Assignment) float64 {
+	if p.Comm == nil {
+		return 0
+	}
+	dist := p.distances()
+	total := 0.0
+	for t := range a {
+		id := taskmodel.ID(t)
+		for _, dep := range p.Comm.Deps(id) {
+			other := int(dep)
+			if other <= t || other >= len(a) {
+				continue // count each pair once; ignore out-of-range ids
+			}
+			total += p.Comm.Weight(id, dep) * float64(dist[a[t]][a[other]])
+		}
+	}
+	return total
+}
+
+// Cost is the mapping objective: makespan + λ·communication.
+func (p *Problem) Cost(a Assignment) float64 {
+	return p.Makespan(a) + p.Lambda*p.CommCost(a)
+}
+
+// LPT returns the longest-processing-time greedy assignment: tasks in
+// descending load order, each placed on the node with the smallest
+// projected height. It ignores communication — the classical seed.
+func LPT(p *Problem) Assignment {
+	p.Validate()
+	order := make([]int, len(p.Loads))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending load, ascending id on ties.
+	for i := 1; i < len(order); i++ {
+		t := order[i]
+		j := i - 1
+		for j >= 0 && (p.Loads[order[j]] < p.Loads[t] ||
+			(p.Loads[order[j]] == p.Loads[t] && order[j] > t)) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = t
+	}
+	a := make(Assignment, len(p.Loads))
+	heights := make([]float64, p.G.N())
+	for _, t := range order {
+		best := 0
+		for v := 1; v < p.G.N(); v++ {
+			if heights[v]/p.speed(v) < heights[best]/p.speed(best) {
+				best = v
+			}
+		}
+		a[t] = best
+		heights[best] += p.Loads[t]
+	}
+	return a
+}
+
+// AnnealParams configures the simulated-annealing optimiser.
+type AnnealParams struct {
+	Iterations int     // proposal count (default 20000)
+	T0         float64 // initial temperature (default: cost of the seed / 10)
+	Cooling    float64 // geometric cooling per iteration (default 0.9997)
+	Seed       uint64
+}
+
+func (ap *AnnealParams) defaults(seedCost float64) {
+	if ap.Iterations <= 0 {
+		ap.Iterations = 20000
+	}
+	if ap.T0 <= 0 {
+		ap.T0 = seedCost/10 + 1e-9
+	}
+	if ap.Cooling <= 0 || ap.Cooling >= 1 {
+		ap.Cooling = 0.9997
+	}
+}
+
+// Anneal improves the seed assignment by simulated annealing with
+// move/swap neighbourhoods and Metropolis acceptance, returning the best
+// assignment found and its cost. Deterministic per params.Seed.
+func Anneal(p *Problem, seed Assignment, params AnnealParams) (Assignment, float64) {
+	p.Validate()
+	if len(seed) != len(p.Loads) {
+		panic("staticmap: seed assignment length mismatch")
+	}
+	cur := seed.Clone()
+	curCost := p.Cost(cur)
+	params.defaults(curCost)
+	best := cur.Clone()
+	bestCost := curCost
+	r := rng.New(params.Seed)
+	temp := params.T0
+	n := p.G.N()
+	for it := 0; it < params.Iterations; it++ {
+		// Propose: 70% single-task move, 30% pairwise swap.
+		var t1, t2, oldV1, oldV2 int
+		swap := r.Float64() < 0.3 && len(cur) > 1
+		t1 = r.Intn(len(cur))
+		oldV1 = cur[t1]
+		if swap {
+			t2 = r.Intn(len(cur))
+			if t2 == t1 {
+				swap = false
+			}
+		}
+		if swap {
+			oldV2 = cur[t2]
+			cur[t1], cur[t2] = oldV2, oldV1
+		} else {
+			cur[t1] = r.Intn(n)
+		}
+		newCost := p.Cost(cur)
+		accept := newCost <= curCost
+		if !accept && temp > 0 {
+			accept = r.Float64() < math.Exp((curCost-newCost)/temp)
+		}
+		if accept {
+			curCost = newCost
+			if newCost < bestCost {
+				bestCost = newCost
+				copy(best, cur)
+			}
+		} else {
+			// Revert.
+			if swap {
+				cur[t1], cur[t2] = oldV1, oldV2
+			} else {
+				cur[t1] = oldV1
+			}
+		}
+		temp *= params.Cooling
+	}
+	return best, bestCost
+}
+
+// Map runs the full pipeline: LPT seed, then annealing.
+func Map(p *Problem, params AnnealParams) (Assignment, float64) {
+	return Anneal(p, LPT(p), params)
+}
+
+// InitialDistribution converts an assignment into the per-node task-size
+// lists sim.Config.Initial expects. Task ids are preserved: the engine
+// assigns ids in injection order (node-major), so the returned ids slice
+// maps engine id → original task id for wiring dependency matrices.
+func (p *Problem) InitialDistribution(a Assignment) (init [][]float64, engineToTask []int) {
+	init = make([][]float64, p.G.N())
+	for v := 0; v < p.G.N(); v++ {
+		for t, node := range a {
+			if node == v {
+				init[v] = append(init[v], p.Loads[t])
+				engineToTask = append(engineToTask, t)
+			}
+		}
+	}
+	return init, engineToTask
+}
+
+// RemapComm rebuilds a dependency graph in engine-id space given the
+// engineToTask mapping from InitialDistribution, so a statically mapped
+// workload keeps its T matrix when simulated.
+func RemapComm(comm *taskmodel.Graph, engineToTask []int) *taskmodel.Graph {
+	out := taskmodel.NewGraph()
+	if comm == nil {
+		return out
+	}
+	taskToEngine := make(map[int]int, len(engineToTask))
+	for e, t := range engineToTask {
+		taskToEngine[t] = e
+	}
+	for e, t := range engineToTask {
+		for _, dep := range comm.Deps(taskmodel.ID(t)) {
+			if other, ok := taskToEngine[int(dep)]; ok && other > e {
+				out.SetDep(taskmodel.ID(e), taskmodel.ID(other), comm.Weight(taskmodel.ID(t), dep))
+			}
+		}
+	}
+	return out
+}

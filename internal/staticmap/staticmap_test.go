@@ -1,0 +1,258 @@
+package staticmap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pplb/internal/rng"
+	"pplb/internal/taskmodel"
+	"pplb/internal/topology"
+)
+
+func uniformProblem(n, tasks int) *Problem {
+	loads := make([]float64, tasks)
+	for i := range loads {
+		loads[i] = 1
+	}
+	return &Problem{G: topology.NewTorus(n, n), Loads: loads}
+}
+
+func TestNodeLoadsAndMakespan(t *testing.T) {
+	p := &Problem{G: topology.NewRing(3), Loads: []float64{2, 3, 5}}
+	a := Assignment{0, 0, 2}
+	loads := p.NodeLoads(a)
+	if loads[0] != 5 || loads[1] != 0 || loads[2] != 5 {
+		t.Fatalf("NodeLoads = %v", loads)
+	}
+	if p.Makespan(a) != 5 {
+		t.Fatalf("Makespan = %v", p.Makespan(a))
+	}
+	// With a fast node 0 the makespan drops.
+	p2 := &Problem{G: topology.NewRing(3), Loads: []float64{2, 3, 5}, Speeds: []float64{2, 1, 1}}
+	if p2.Makespan(a) != 5 { // node2: 5/1
+		t.Fatalf("hetero Makespan = %v", p2.Makespan(a))
+	}
+}
+
+func TestCommCost(t *testing.T) {
+	comm := taskmodel.NewGraph()
+	comm.SetDep(0, 1, 2) // weight 2
+	p := &Problem{G: topology.NewRing(4), Loads: []float64{1, 1}, Comm: comm, Lambda: 1}
+	if c := p.CommCost(Assignment{0, 0}); c != 0 {
+		t.Fatalf("co-located comm cost = %v", c)
+	}
+	if c := p.CommCost(Assignment{0, 1}); c != 2 { // dist 1 × weight 2
+		t.Fatalf("adjacent comm cost = %v", c)
+	}
+	if c := p.CommCost(Assignment{0, 2}); c != 4 { // dist 2 × weight 2
+		t.Fatalf("distant comm cost = %v", c)
+	}
+	// Cost combines both.
+	if p.Cost(Assignment{0, 2}) != p.Makespan(Assignment{0, 2})+4 {
+		t.Fatal("Cost composition wrong")
+	}
+}
+
+func TestLPTBalancesUniform(t *testing.T) {
+	p := uniformProblem(3, 27) // 9 nodes, 27 unit tasks
+	a := LPT(p)
+	for _, l := range p.NodeLoads(a) {
+		if l != 3 {
+			t.Fatalf("LPT on uniform tasks must be perfectly even, got %v", p.NodeLoads(a))
+		}
+	}
+}
+
+func TestLPTHetero(t *testing.T) {
+	// Two nodes, speeds 2:1, 9 unit tasks: LPT should give the fast node
+	// about twice as many.
+	p := &Problem{G: topology.NewRing(2), Loads: make([]float64, 9), Speeds: []float64{2, 1}}
+	for i := range p.Loads {
+		p.Loads[i] = 1
+	}
+	a := LPT(p)
+	loads := p.NodeLoads(a)
+	if loads[0] < loads[1] {
+		t.Fatalf("fast node must carry more: %v", loads)
+	}
+	if math.Abs(loads[0]-6) > 1.01 {
+		t.Fatalf("fast node load = %v, want ~6", loads[0])
+	}
+}
+
+func TestAnnealImprovesOrMatchesLPT(t *testing.T) {
+	comm := taskmodel.NewGraph()
+	// Chains of communicating tasks.
+	for i := 0; i < 31; i++ {
+		if i%4 != 3 {
+			comm.SetDep(taskmodel.ID(i), taskmodel.ID(i+1), 1)
+		}
+	}
+	loads := make([]float64, 32)
+	r := rng.New(5)
+	for i := range loads {
+		loads[i] = 0.5 + r.Float64()
+	}
+	p := &Problem{G: topology.NewTorus(3, 3), Loads: loads, Comm: comm, Lambda: 0.2}
+	lpt := LPT(p)
+	best, cost := Anneal(p, lpt, AnnealParams{Iterations: 15000, Seed: 3})
+	if cost > p.Cost(lpt)+1e-9 {
+		t.Fatalf("annealing worsened the seed: %v vs %v", cost, p.Cost(lpt))
+	}
+	if math.Abs(cost-p.Cost(best)) > 1e-9 {
+		t.Fatal("returned cost must match returned assignment")
+	}
+	// With communication in the objective, annealing should beat
+	// comm-oblivious LPT strictly on this instance.
+	if !(cost < p.Cost(lpt)) {
+		t.Fatalf("annealing should improve a comm-heavy instance: %v vs %v", cost, p.Cost(lpt))
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	p := uniformProblem(2, 16)
+	a1, c1 := Map(p, AnnealParams{Iterations: 5000, Seed: 9})
+	a2, c2 := Map(p, AnnealParams{Iterations: 5000, Seed: 9})
+	if c1 != c2 {
+		t.Fatal("annealing must be deterministic per seed")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("assignments must be identical per seed")
+		}
+	}
+}
+
+func TestAnnealCoLocatesHeavyClusters(t *testing.T) {
+	// Two tight clusters with huge mutual communication: annealing must
+	// place each cluster on a single node.
+	comm := taskmodel.NewGraph()
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			comm.SetDep(taskmodel.ID(a), taskmodel.ID(b), 50)
+			comm.SetDep(taskmodel.ID(a+3), taskmodel.ID(b+3), 50)
+		}
+	}
+	p := &Problem{
+		G:     topology.NewRing(4),
+		Loads: []float64{1, 1, 1, 1, 1, 1},
+		Comm:  comm, Lambda: 1,
+	}
+	a, _ := Map(p, AnnealParams{Iterations: 30000, Seed: 11})
+	if a[0] != a[1] || a[1] != a[2] {
+		t.Fatalf("cluster 1 split: %v", a)
+	}
+	if a[3] != a[4] || a[4] != a[5] {
+		t.Fatalf("cluster 2 split: %v", a)
+	}
+}
+
+func TestInitialDistributionRoundTrip(t *testing.T) {
+	p := &Problem{G: topology.NewRing(3), Loads: []float64{2, 3, 5}}
+	a := Assignment{2, 0, 2}
+	init, ids := p.InitialDistribution(a)
+	if len(init[0]) != 1 || init[0][0] != 3 {
+		t.Fatalf("node0 tasks = %v", init[0])
+	}
+	if len(init[2]) != 2 {
+		t.Fatalf("node2 tasks = %v", init[2])
+	}
+	// Engine ids are node-major: engine 0 = task 1 (node 0), engine 1 =
+	// task 0, engine 2 = task 2 (node 2).
+	want := []int{1, 0, 2}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("engineToTask = %v, want %v", ids, want)
+		}
+	}
+	// Total load preserved.
+	total := 0.0
+	for _, sizes := range init {
+		for _, s := range sizes {
+			total += s
+		}
+	}
+	if total != 10 {
+		t.Fatalf("total = %v", total)
+	}
+}
+
+func TestRemapComm(t *testing.T) {
+	comm := taskmodel.NewGraph()
+	comm.SetDep(0, 2, 7)
+	p := &Problem{G: topology.NewRing(3), Loads: []float64{1, 1, 1}, Comm: comm}
+	a := Assignment{2, 0, 2}
+	_, ids := p.InitialDistribution(a) // engine: [1, 0, 2]
+	remapped := RemapComm(comm, ids)
+	// Original dep (0,2): task0 → engine1, task2 → engine2.
+	if remapped.Weight(1, 2) != 7 {
+		t.Fatalf("remapped weight = %v", remapped.Weight(1, 2))
+	}
+	if remapped.Weight(0, 1) != 0 {
+		t.Fatal("spurious dependency after remap")
+	}
+	if RemapComm(nil, ids).NumDeps() != 0 {
+		t.Fatal("nil comm must remap to empty")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { (&Problem{Loads: []float64{1}}).Validate() },
+		func() { (&Problem{G: topology.NewRing(3)}).Validate() },
+		func() {
+			(&Problem{G: topology.NewRing(3), Loads: []float64{1}, Speeds: []float64{1}}).Validate()
+		},
+		func() {
+			p := &Problem{G: topology.NewRing(3), Loads: []float64{1, 1}}
+			Anneal(p, Assignment{0}, AnnealParams{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: annealing never returns a worse assignment than its seed, and
+// all assignments stay in range.
+func TestAnnealNeverWorsensQuick(t *testing.T) {
+	f := func(seed uint16, taskSeed uint8) bool {
+		r := rng.New(uint64(taskSeed) + 1)
+		m := 8 + int(taskSeed%16)
+		loads := make([]float64, m)
+		for i := range loads {
+			loads[i] = 0.5 + r.Float64()
+		}
+		p := &Problem{G: topology.NewRing(4), Loads: loads}
+		lpt := LPT(p)
+		best, cost := Anneal(p, lpt, AnnealParams{Iterations: 2000, Seed: uint64(seed)})
+		if cost > p.Cost(lpt)+1e-9 {
+			return false
+		}
+		for _, v := range best {
+			if v < 0 || v >= 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnneal(b *testing.B) {
+	p := uniformProblem(3, 64)
+	seed := LPT(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Anneal(p, seed, AnnealParams{Iterations: 2000, Seed: uint64(i)})
+	}
+}

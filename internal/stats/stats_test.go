@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pplb/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSumMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum = %v", Sum(xs))
+	}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	var empty []float64
+	if Sum(empty) != 0 || Mean(empty) != 0 || Variance(empty) != 0 ||
+		StdDev(empty) != 0 || CV(empty) != 0 || Min(empty) != 0 ||
+		Max(empty) != 0 || Percentile(empty, 50) != 0 {
+		t.Fatal("statistics of empty input must all be 0")
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Variance(xs), 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", Variance(xs))
+	}
+	if !approx(StdDev(xs), 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", StdDev(xs))
+	}
+}
+
+func TestCVBalanced(t *testing.T) {
+	if CV([]float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("CV of constant vector must be 0")
+	}
+	if CV([]float64{0, 0, 0}) != 0 {
+		t.Fatal("CV of zero vector defined as 0")
+	}
+	if CV([]float64{0, 10}) <= 0 {
+		t.Fatal("CV of imbalanced vector must be positive")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); !approx(got, 15, 1e-12) {
+		t.Errorf("interpolated median = %v, want 15", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := rng.New(77)
+	xs := make([]float64, 500)
+	var o Online
+	for i := range xs {
+		xs[i] = r.Range(-10, 10)
+		o.Add(xs[i])
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("Online.N = %d", o.N())
+	}
+	if !approx(o.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !approx(o.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("online variance %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	if o.Min() != Min(xs) || o.Max() != Max(xs) {
+		t.Fatal("online min/max disagree with batch")
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Variance() != 0 || o.Min() != 0 || o.Max() != 0 {
+		t.Fatal("zero-value Online must report zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -3 clamps to bin 0, 42 clamps to bin 4.
+	if h.Counts[0] != 3 { // 0, 1.9, -3
+		t.Fatalf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99, 42
+		t.Fatalf("bin4 = %d, want 2", h.Counts[4])
+	}
+	if !approx(h.BinCenter(0), 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{5, 7, 9, 11} // y = 2x + 5
+	slope, intercept := LinearFit(x, y)
+	if !approx(slope, 2, 1e-12) || !approx(intercept, 5, 1e-12) {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	slope, intercept := LinearFit([]float64{2, 2, 2}, []float64{1, 3, 5})
+	if slope != 0 || !approx(intercept, 3, 1e-12) {
+		t.Fatalf("degenerate fit = %v, %v", slope, intercept)
+	}
+	slope, intercept = LinearFit(nil, nil)
+	if slope != 0 || intercept != 0 {
+		t.Fatal("empty fit must be 0,0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if !approx(GeometricMean([]float64{1, 4, 16}), 4, 1e-9) {
+		t.Fatalf("GeometricMean = %v", GeometricMean([]float64{1, 4, 16}))
+	}
+	if GeometricMean([]float64{-1, 0}) != 0 {
+		t.Fatal("GeometricMean of non-positive values must be 0")
+	}
+}
+
+func TestAbsDiffSum(t *testing.T) {
+	if AbsDiffSum([]float64{1, 2, 3}, []float64{2, 2, 1}) != 3 {
+		t.Fatal("AbsDiffSum wrong")
+	}
+	if AbsDiffSum([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("AbsDiffSum over common prefix only")
+	}
+}
+
+// Property: variance is non-negative and CV is scale-invariant.
+func TestVariancePropertyQuick(t *testing.T) {
+	r := rng.New(123)
+	f := func(n uint8, scaleSeed uint16) bool {
+		size := int(n%32) + 2
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = r.Range(0.1, 100)
+		}
+		if Variance(xs) < 0 {
+			return false
+		}
+		scale := 0.5 + float64(scaleSeed%100)/10
+		scaled := make([]float64, size)
+		for i := range xs {
+			scaled[i] = xs[i] * scale
+		}
+		return approx(CV(xs), CV(scaled), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneQuick(t *testing.T) {
+	r := rng.New(321)
+	f := func(n uint8) bool {
+		size := int(n%50) + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = r.Range(-100, 100)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 || v < Min(xs)-1e-12 || v > Max(xs)+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Summarize(xs)
+	}
+}

@@ -1,0 +1,119 @@
+// Package surface implements the M3 mapping of §4.1: the interconnection
+// network plus per-node load quantities form a discrete 3-D manifold, where
+// each node v sits at (M2(v), h(v)) and h(v) = Σ_k l_{v,k} is the node's
+// total load. The slopes of this manifold — the gradients tan β between
+// neighbouring nodes — are what the particle-and-plane balancer descends.
+//
+// Surface is a *view*: it does not own the loads, it reads them through a
+// HeightSource, so the same code serves live simulation state, snapshots and
+// tests.
+package surface
+
+import (
+	"pplb/internal/linkmodel"
+	"pplb/internal/topology"
+)
+
+// HeightSource supplies h(v) for every node. Implementations must be cheap:
+// the balancer queries heights once per neighbour per tick.
+type HeightSource interface {
+	Height(v int) float64
+}
+
+// SliceHeights adapts a []float64 of per-node loads to a HeightSource.
+type SliceHeights []float64
+
+// Height returns the load of node v.
+func (s SliceHeights) Height(v int) float64 { return s[v] }
+
+// Surface is the discrete manifold: topology + link costs + heights.
+type Surface struct {
+	g     *topology.Graph
+	links *linkmodel.Params
+	h     HeightSource
+}
+
+// New assembles a surface view over the given topology, link parameters and
+// height source. links must belong to g.
+func New(g *topology.Graph, links *linkmodel.Params, h HeightSource) *Surface {
+	if links.Graph() != g {
+		panic("surface: link parameters belong to a different graph")
+	}
+	return &Surface{g: g, links: links, h: h}
+}
+
+// Graph returns the underlying topology.
+func (s *Surface) Graph() *topology.Graph { return s.g }
+
+// Links returns the link parameters.
+func (s *Surface) Links() *linkmodel.Params { return s.links }
+
+// Height returns h(v), the total load of node v.
+func (s *Surface) Height(v int) float64 { return s.h.Height(v) }
+
+// TanBeta returns the raw gradient of the slope from node i towards its
+// neighbour j (§4.2):
+//
+//	tan β(v_i, v_j, e_ij) = (h(v_i) − h(v_j)) / e_ij
+//
+// Positive values point downhill (i is higher than j).
+func (s *Surface) TanBeta(i, j int) float64 {
+	return (s.h.Height(i) - s.h.Height(j)) / s.links.Cost(i, j)
+}
+
+// TanBetaWithTransfer returns the transfer-adjusted gradient of §5.1:
+//
+//	tan β(v_i, v_j, e_ij, l) = (h(v_i) − h(v_j) − 2·l) / e_ij
+//
+// The −2l term accounts for the surface being *dynamic*: moving a load of
+// size l lowers the source by l and raises the destination by l, so the
+// height difference after the move shrinks by 2l. Requiring this adjusted
+// gradient to clear the friction threshold prevents a transfer that would
+// merely swap which node is overloaded (thrashing).
+func (s *Surface) TanBetaWithTransfer(i, j int, load float64) float64 {
+	return (s.h.Height(i) - s.h.Height(j) - 2*load) / s.links.Cost(i, j)
+}
+
+// SteepestNeighbor returns the neighbour of i with the largest raw gradient
+// and that gradient. ok is false when i has no neighbours.
+func (s *Surface) SteepestNeighbor(i int) (j int, tanBeta float64, ok bool) {
+	best := -1
+	bestTan := 0.0
+	for _, n := range s.g.Neighbors(i) {
+		tb := s.TanBeta(i, n)
+		if best < 0 || tb > bestTan {
+			best, bestTan = n, tb
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestTan, true
+}
+
+// Heights materialises the height of every node into a fresh slice, mainly
+// for metrics and rendering.
+func (s *Surface) Heights() []float64 {
+	out := make([]float64, s.g.N())
+	for v := range out {
+		out[v] = s.h.Height(v)
+	}
+	return out
+}
+
+// GridHeights lays the heights of a mesh/torus surface out as a rows×cols
+// grid for heatmap rendering. ok is false for non-grid topologies.
+func (s *Surface) GridHeights() (grid [][]float64, ok bool) {
+	rows, cols, ok := topology.MeshDims(s.g)
+	if !ok {
+		return nil, false
+	}
+	grid = make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		grid[r] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			grid[r][c] = s.h.Height(r*cols + c)
+		}
+	}
+	return grid, true
+}

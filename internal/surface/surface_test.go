@@ -1,0 +1,121 @@
+package surface
+
+import (
+	"math"
+	"testing"
+
+	"pplb/internal/linkmodel"
+	"pplb/internal/topology"
+)
+
+func mk(t *testing.T) (*topology.Graph, *linkmodel.Params) {
+	t.Helper()
+	g := topology.NewMesh(2, 2) // nodes 0-1-2-3 in a square
+	return g, linkmodel.New(g)
+}
+
+func TestHeightsAndTanBeta(t *testing.T) {
+	g, links := mk(t)
+	s := New(g, links, SliceHeights{10, 4, 2, 0})
+	if s.Height(0) != 10 {
+		t.Fatalf("Height = %v", s.Height(0))
+	}
+	// Unit cost links: tanβ = Δh.
+	if tb := s.TanBeta(0, 1); tb != 6 {
+		t.Fatalf("TanBeta(0,1) = %v", tb)
+	}
+	if tb := s.TanBeta(1, 0); tb != -6 {
+		t.Fatalf("TanBeta(1,0) = %v", tb)
+	}
+}
+
+func TestTanBetaScalesWithCost(t *testing.T) {
+	g := topology.NewMesh(2, 2)
+	links := linkmodel.New(g, linkmodel.WithUniformLength(4)) // cost 4
+	s := New(g, links, SliceHeights{10, 2, 2, 0})
+	if tb := s.TanBeta(0, 1); tb != 2 {
+		t.Fatalf("TanBeta with cost 4 = %v, want 2", tb)
+	}
+}
+
+func TestTanBetaWithTransfer(t *testing.T) {
+	g, links := mk(t)
+	s := New(g, links, SliceHeights{10, 4, 2, 0})
+	// (10 - 4 - 2*2)/1 = 2
+	if tb := s.TanBetaWithTransfer(0, 1, 2); tb != 2 {
+		t.Fatalf("adjusted tanβ = %v", tb)
+	}
+	// A transfer of 3 would equalise and overshoot: (10-4-6)/1 = 0.
+	if tb := s.TanBetaWithTransfer(0, 1, 3); tb != 0 {
+		t.Fatalf("adjusted tanβ = %v", tb)
+	}
+}
+
+func TestSteepestNeighbor(t *testing.T) {
+	g, links := mk(t)
+	s := New(g, links, SliceHeights{10, 4, 2, 0})
+	// Node 0 neighbours: 1 (Δ6) and 2 (Δ8).
+	j, tb, ok := s.SteepestNeighbor(0)
+	if !ok || j != 2 || tb != 8 {
+		t.Fatalf("steepest = %d,%v,%v", j, tb, ok)
+	}
+	// From the lowest node all slopes point up.
+	_, tb3, ok3 := s.SteepestNeighbor(3)
+	if !ok3 || tb3 >= 0 {
+		t.Fatalf("steepest from valley = %v", tb3)
+	}
+}
+
+func TestHeightsMaterialise(t *testing.T) {
+	g, links := mk(t)
+	s := New(g, links, SliceHeights{1, 2, 3, 4})
+	hs := s.Heights()
+	if len(hs) != 4 || hs[2] != 3 {
+		t.Fatalf("Heights = %v", hs)
+	}
+}
+
+func TestGridHeights(t *testing.T) {
+	g := topology.NewMesh(2, 3)
+	s := New(g, linkmodel.New(g), SliceHeights{1, 2, 3, 4, 5, 6})
+	grid, ok := s.GridHeights()
+	if !ok || len(grid) != 2 || len(grid[0]) != 3 {
+		t.Fatalf("grid shape wrong: %v %v", grid, ok)
+	}
+	if grid[1][2] != 6 || grid[0][0] != 1 {
+		t.Fatalf("grid values wrong: %v", grid)
+	}
+	// Non-grid topology.
+	ring := topology.NewRing(5)
+	s2 := New(ring, linkmodel.New(ring), SliceHeights{1, 1, 1, 1, 1})
+	if _, ok := s2.GridHeights(); ok {
+		t.Fatal("ring must not produce a grid")
+	}
+}
+
+func TestMismatchedLinksPanic(t *testing.T) {
+	g1 := topology.NewRing(4)
+	g2 := topology.NewRing(4)
+	links := linkmodel.New(g1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched graph")
+		}
+	}()
+	New(g2, links, SliceHeights{0, 0, 0, 0})
+}
+
+func TestAntisymmetry(t *testing.T) {
+	g := topology.NewTorus(3, 3)
+	links := linkmodel.New(g, linkmodel.WithUniformLength(2))
+	hs := make(SliceHeights, g.N())
+	for i := range hs {
+		hs[i] = float64(i * i % 7)
+	}
+	s := New(g, links, hs)
+	for _, e := range g.Edges() {
+		if math.Abs(s.TanBeta(e.U, e.V)+s.TanBeta(e.V, e.U)) > 1e-12 {
+			t.Fatalf("tanβ not antisymmetric on edge %v", e)
+		}
+	}
+}

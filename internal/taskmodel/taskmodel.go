@@ -1,0 +1,315 @@
+// Package taskmodel implements the paper's task-side primitives (§4.2):
+//
+//   - Task: a load l_{i,k} with a mass (load quantity, "computational
+//     complexity or mnemonic size"), the potential-height flag h* that stores
+//     the remaining total energy of the moving object (§5.1), and bookkeeping
+//     for the experiments (origin, hop count, birth tick).
+//   - Graph ("T" in the paper): edge-weighted task-dependency graph; T_{i,j}
+//     is the communication weight between tasks i and j.
+//   - Resources ("R" in the paper, |L|x|V|): task-to-node resource affinity.
+//
+// The paper uses "task" and "load" interchangeably; so does this package —
+// a Task is a unit of load from the balancer's point of view.
+package taskmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a task for the lifetime of a run.
+type ID int64
+
+// Task is one migratable unit of load (a "particle" of the physical model).
+type Task struct {
+	ID   ID
+	Load float64 // mass m of the particle = load quantity l_{i,k}
+
+	// Flag is the potential height h* of §5.1: the height of the highest
+	// point the particle can still reach given the energy dissipated so far.
+	// It is (re)initialised to the height of the node where a movement
+	// "game" starts and decremented by E_h/(m·g) per hop while in flight.
+	Flag float64
+
+	// Moving marks a task that is mid-slide (has inertia): it arrived on the
+	// current node last tick and may continue to a further node under the
+	// in-motion feasibility rule rather than the static one.
+	Moving bool
+
+	Origin int // node where the task entered the system
+	Prev   int // node the task last migrated from (-1 if none): the
+	// discrete momentum memory — a sliding task does not immediately
+	// backtrack, exactly like the physics particle
+	Hops  int   // number of link traversals so far
+	Birth int64 // tick at which the task entered the system
+	Done  int64 // tick at which the task finished service (-1 while live)
+}
+
+// New returns a stationary task with the given id, load and origin.
+func New(id ID, load float64, origin int, birth int64) *Task {
+	return &Task{ID: id, Load: load, Origin: origin, Prev: -1, Birth: birth, Done: -1}
+}
+
+// Clone returns an independent copy of the task.
+func (t *Task) Clone() *Task {
+	c := *t
+	return &c
+}
+
+// String implements fmt.Stringer for debugging traces.
+func (t *Task) String() string {
+	return fmt.Sprintf("task(%d load=%.3g node-origin=%d hops=%d flag=%.3g)", t.ID, t.Load, t.Origin, t.Hops, t.Flag)
+}
+
+// Graph is the task-dependency graph T: Weight(a,b) is the communication
+// demand between tasks a and b. The zero value (or nil pointer) is an empty
+// graph, which every accessor treats as "no dependencies".
+type Graph struct {
+	w map[ID]map[ID]float64
+}
+
+// NewGraph returns an empty dependency graph.
+func NewGraph() *Graph { return &Graph{w: make(map[ID]map[ID]float64)} }
+
+// SetDep records a symmetric dependency of the given weight between a and b.
+// Setting weight 0 removes the dependency. Self-dependencies are ignored.
+func (g *Graph) SetDep(a, b ID, weight float64) {
+	if a == b || g == nil {
+		return
+	}
+	if g.w == nil {
+		g.w = make(map[ID]map[ID]float64)
+	}
+	set := func(x, y ID) {
+		if weight == 0 {
+			if m := g.w[x]; m != nil {
+				delete(m, y)
+				if len(m) == 0 {
+					delete(g.w, x)
+				}
+			}
+			return
+		}
+		m := g.w[x]
+		if m == nil {
+			m = make(map[ID]float64)
+			g.w[x] = m
+		}
+		m[y] = weight
+	}
+	set(a, b)
+	set(b, a)
+}
+
+// Weight returns the dependency weight between a and b (0 when absent).
+func (g *Graph) Weight(a, b ID) float64 {
+	if g == nil || g.w == nil {
+		return 0
+	}
+	return g.w[a][b]
+}
+
+// Deps returns the ids that task a depends on, in ascending order.
+func (g *Graph) Deps(a ID) []ID {
+	if g == nil || g.w == nil {
+		return nil
+	}
+	m := g.w[a]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]ID, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalWeight returns the sum of dependency weights incident to a — the
+// Σ_{x≠l0} T_{k,x} term of the µs formula in §4.2.
+func (g *Graph) TotalWeight(a ID) float64 {
+	if g == nil || g.w == nil {
+		return 0
+	}
+	s := 0.0
+	for _, w := range g.w[a] {
+		s += w
+	}
+	return s
+}
+
+// WeightToSet returns the summed dependency weight from a to tasks in the
+// set. Used for µs: the pull a node exerts on a task through co-located
+// dependent tasks.
+func (g *Graph) WeightToSet(a ID, set map[ID]bool) float64 {
+	if g == nil || g.w == nil {
+		return 0
+	}
+	s := 0.0
+	for b, w := range g.w[a] {
+		if set[b] {
+			s += w
+		}
+	}
+	return s
+}
+
+// NumDeps returns the number of dependency edges (each counted once).
+func (g *Graph) NumDeps() int {
+	if g == nil || g.w == nil {
+		return 0
+	}
+	n := 0
+	for a, m := range g.w {
+		for b := range m {
+			if a < b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Resources is the R matrix of §4.2: Affinity(task, node) expresses how much
+// the task depends on resources present at the node. The zero value is an
+// empty matrix.
+type Resources struct {
+	aff map[ID]map[int]float64
+}
+
+// NewResources returns an empty resource-affinity matrix.
+func NewResources() *Resources { return &Resources{aff: make(map[ID]map[int]float64)} }
+
+// SetAffinity records the resource affinity of task t to node v; weight 0
+// removes the entry.
+func (r *Resources) SetAffinity(t ID, v int, weight float64) {
+	if r == nil {
+		return
+	}
+	if r.aff == nil {
+		r.aff = make(map[ID]map[int]float64)
+	}
+	if weight == 0 {
+		if m := r.aff[t]; m != nil {
+			delete(m, v)
+			if len(m) == 0 {
+				delete(r.aff, t)
+			}
+		}
+		return
+	}
+	m := r.aff[t]
+	if m == nil {
+		m = make(map[int]float64)
+		r.aff[t] = m
+	}
+	m[v] = weight
+}
+
+// Affinity returns the resource affinity of task t to node v (0 when absent).
+func (r *Resources) Affinity(t ID, v int) float64 {
+	if r == nil || r.aff == nil {
+		return 0
+	}
+	return r.aff[t][v]
+}
+
+// Queue is the multiset of tasks resident on one node, with the cached total
+// load h(v) = Σ l_{v,k} of §4.2. The zero value is an empty queue.
+type Queue struct {
+	tasks []*Task
+	total float64
+	ids   map[ID]bool
+}
+
+// Add inserts a task.
+func (q *Queue) Add(t *Task) {
+	q.tasks = append(q.tasks, t)
+	q.total += t.Load
+	if q.ids == nil {
+		q.ids = make(map[ID]bool)
+	}
+	q.ids[t.ID] = true
+}
+
+// Remove deletes the task with the given id and returns it, or nil when
+// absent. Order of remaining tasks is preserved.
+func (q *Queue) Remove(id ID) *Task {
+	for i, t := range q.tasks {
+		if t.ID == id {
+			copy(q.tasks[i:], q.tasks[i+1:])
+			q.tasks[len(q.tasks)-1] = nil
+			q.tasks = q.tasks[:len(q.tasks)-1]
+			q.total -= t.Load
+			delete(q.ids, id)
+			return t
+		}
+	}
+	return nil
+}
+
+// Has reports whether the task with the given id is resident.
+func (q *Queue) Has(id ID) bool { return q.ids[id] }
+
+// Len returns the number of resident tasks.
+func (q *Queue) Len() int { return len(q.tasks) }
+
+// Total returns h(v): the summed load of resident tasks.
+func (q *Queue) Total() float64 {
+	// Guard against drift from repeated float adds/removes.
+	if q.total < 0 && q.total > -1e-9 {
+		q.total = 0
+	}
+	return q.total
+}
+
+// Tasks returns the resident tasks in insertion order. The slice is shared;
+// callers must not modify it.
+func (q *Queue) Tasks() []*Task { return q.tasks }
+
+// IDSet returns the set of resident ids. The map is shared; callers must not
+// modify it.
+func (q *Queue) IDSet() map[ID]bool { return q.ids }
+
+// ByLoadDesc returns resident tasks sorted by descending load (stable on id
+// for determinism). The paper moves the "choicest" object first; experiments
+// and the PPLB core use largest-first order.
+func (q *Queue) ByLoadDesc() []*Task {
+	out := append([]*Task(nil), q.tasks...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Load != out[j].Load {
+			return out[i].Load > out[j].Load
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ConsumeService removes up to amount of load from the queue front (FIFO),
+// completing tasks whose load is fully consumed, and returns the completed
+// tasks and the load actually consumed. Partial consumption reduces a task's
+// remaining load in place. This models node service capacity in the
+// non-quiescent experiments.
+func (q *Queue) ConsumeService(amount float64, now int64) (done []*Task, consumed float64) {
+	for amount > 0 && len(q.tasks) > 0 {
+		t := q.tasks[0]
+		if t.Load <= amount {
+			amount -= t.Load
+			consumed += t.Load
+			q.total -= t.Load
+			t.Done = now
+			done = append(done, t)
+			copy(q.tasks, q.tasks[1:])
+			q.tasks[len(q.tasks)-1] = nil
+			q.tasks = q.tasks[:len(q.tasks)-1]
+			delete(q.ids, t.ID)
+		} else {
+			t.Load -= amount
+			q.total -= amount
+			consumed += amount
+			amount = 0
+		}
+	}
+	return done, consumed
+}

@@ -1,0 +1,245 @@
+package taskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pplb/internal/rng"
+)
+
+func TestNewTask(t *testing.T) {
+	task := New(7, 2.5, 3, 11)
+	if task.ID != 7 || task.Load != 2.5 || task.Origin != 3 || task.Birth != 11 {
+		t.Fatalf("bad task: %+v", task)
+	}
+	if task.Done != -1 {
+		t.Fatal("new task must not be done")
+	}
+	if task.Moving {
+		t.Fatal("new task must be stationary")
+	}
+}
+
+func TestTaskClone(t *testing.T) {
+	a := New(1, 2, 0, 0)
+	b := a.Clone()
+	b.Load = 99
+	if a.Load == 99 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestGraphSymmetry(t *testing.T) {
+	g := NewGraph()
+	g.SetDep(1, 2, 3.5)
+	if g.Weight(1, 2) != 3.5 || g.Weight(2, 1) != 3.5 {
+		t.Fatal("dependency must be symmetric")
+	}
+	if g.Weight(1, 3) != 0 {
+		t.Fatal("absent dependency must be 0")
+	}
+}
+
+func TestGraphSelfDepIgnored(t *testing.T) {
+	g := NewGraph()
+	g.SetDep(1, 1, 5)
+	if g.Weight(1, 1) != 0 {
+		t.Fatal("self-dependency must be ignored")
+	}
+}
+
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph()
+	g.SetDep(1, 2, 1)
+	g.SetDep(1, 2, 0)
+	if g.Weight(1, 2) != 0 || g.NumDeps() != 0 {
+		t.Fatal("zero weight must remove dependency")
+	}
+}
+
+func TestGraphDepsSorted(t *testing.T) {
+	g := NewGraph()
+	g.SetDep(5, 9, 1)
+	g.SetDep(5, 2, 1)
+	g.SetDep(5, 7, 1)
+	deps := g.Deps(5)
+	if len(deps) != 3 || deps[0] != 2 || deps[1] != 7 || deps[2] != 9 {
+		t.Fatalf("Deps not sorted: %v", deps)
+	}
+}
+
+func TestGraphTotalAndSetWeight(t *testing.T) {
+	g := NewGraph()
+	g.SetDep(1, 2, 2)
+	g.SetDep(1, 3, 3)
+	g.SetDep(2, 3, 10)
+	if g.TotalWeight(1) != 5 {
+		t.Fatalf("TotalWeight = %v", g.TotalWeight(1))
+	}
+	if w := g.WeightToSet(1, map[ID]bool{2: true}); w != 2 {
+		t.Fatalf("WeightToSet = %v", w)
+	}
+	if w := g.WeightToSet(1, map[ID]bool{2: true, 3: true}); w != 5 {
+		t.Fatalf("WeightToSet = %v", w)
+	}
+}
+
+func TestNilGraphSafe(t *testing.T) {
+	var g *Graph
+	if g.Weight(1, 2) != 0 || g.TotalWeight(1) != 0 || g.NumDeps() != 0 {
+		t.Fatal("nil graph accessors must be safe zeros")
+	}
+	if g.Deps(1) != nil {
+		t.Fatal("nil graph Deps must be nil")
+	}
+	g.SetDep(1, 2, 3) // must not panic
+}
+
+func TestZeroValueGraph(t *testing.T) {
+	var g Graph
+	g.SetDep(1, 2, 4)
+	if g.Weight(1, 2) != 4 {
+		t.Fatal("zero-value Graph must be usable")
+	}
+}
+
+func TestResources(t *testing.T) {
+	r := NewResources()
+	r.SetAffinity(1, 3, 2.5)
+	if r.Affinity(1, 3) != 2.5 {
+		t.Fatal("affinity not stored")
+	}
+	if r.Affinity(1, 4) != 0 || r.Affinity(2, 3) != 0 {
+		t.Fatal("absent affinity must be 0")
+	}
+	r.SetAffinity(1, 3, 0)
+	if r.Affinity(1, 3) != 0 {
+		t.Fatal("zero affinity must remove")
+	}
+	var nilr *Resources
+	if nilr.Affinity(1, 1) != 0 {
+		t.Fatal("nil Resources must be safe")
+	}
+	nilr.SetAffinity(1, 1, 1) // must not panic
+}
+
+func TestQueueAddRemove(t *testing.T) {
+	var q Queue
+	a := New(1, 2, 0, 0)
+	b := New(2, 3, 0, 0)
+	q.Add(a)
+	q.Add(b)
+	if q.Len() != 2 || q.Total() != 5 {
+		t.Fatalf("Len/Total = %d/%v", q.Len(), q.Total())
+	}
+	if !q.Has(1) || q.Has(9) {
+		t.Fatal("Has wrong")
+	}
+	got := q.Remove(1)
+	if got != a {
+		t.Fatal("Remove returned wrong task")
+	}
+	if q.Len() != 1 || q.Total() != 3 || q.Has(1) {
+		t.Fatal("Remove did not update state")
+	}
+	if q.Remove(42) != nil {
+		t.Fatal("Remove of absent id must return nil")
+	}
+}
+
+func TestQueueByLoadDesc(t *testing.T) {
+	var q Queue
+	q.Add(New(1, 1, 0, 0))
+	q.Add(New(2, 5, 0, 0))
+	q.Add(New(3, 5, 0, 0))
+	q.Add(New(4, 2, 0, 0))
+	out := q.ByLoadDesc()
+	if out[0].ID != 2 || out[1].ID != 3 || out[2].ID != 4 || out[3].ID != 1 {
+		t.Fatalf("ByLoadDesc order wrong: %v %v %v %v", out[0].ID, out[1].ID, out[2].ID, out[3].ID)
+	}
+	// Original insertion order untouched.
+	if q.Tasks()[0].ID != 1 {
+		t.Fatal("ByLoadDesc must not mutate queue order")
+	}
+}
+
+func TestQueueConsumeService(t *testing.T) {
+	var q Queue
+	q.Add(New(1, 2, 0, 0))
+	q.Add(New(2, 3, 0, 0))
+	done, consumed := q.ConsumeService(4, 10)
+	if consumed != 4 {
+		t.Fatalf("consumed = %v", consumed)
+	}
+	if len(done) != 1 || done[0].ID != 1 {
+		t.Fatalf("done = %v", done)
+	}
+	if done[0].Done != 10 {
+		t.Fatal("completed task must record Done tick")
+	}
+	if q.Len() != 1 || math.Abs(q.Total()-1) > 1e-12 {
+		t.Fatalf("queue after service: len=%d total=%v", q.Len(), q.Total())
+	}
+	// Remaining task partially consumed.
+	if math.Abs(q.Tasks()[0].Load-1) > 1e-12 {
+		t.Fatalf("partial consumption wrong: %v", q.Tasks()[0].Load)
+	}
+}
+
+func TestQueueConsumeMoreThanAvailable(t *testing.T) {
+	var q Queue
+	q.Add(New(1, 2, 0, 0))
+	done, consumed := q.ConsumeService(10, 0)
+	if consumed != 2 || len(done) != 1 || q.Len() != 0 || q.Total() != 0 {
+		t.Fatal("consuming more than available must drain exactly the queue")
+	}
+}
+
+// Property: Total always equals the sum of resident loads after arbitrary
+// add/remove/consume sequences.
+func TestQueueTotalInvariantQuick(t *testing.T) {
+	r := rng.New(2024)
+	f := func(ops []uint8) bool {
+		var q Queue
+		nextID := ID(1)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				q.Add(New(nextID, float64(op%7)+0.5, 0, 0))
+				nextID++
+			case 1:
+				if q.Len() > 0 {
+					victim := q.Tasks()[r.Intn(q.Len())].ID
+					q.Remove(victim)
+				}
+			case 2:
+				q.ConsumeService(float64(op%5), 0)
+			}
+			want := 0.0
+			for _, task := range q.Tasks() {
+				want += task.Load
+			}
+			if math.Abs(q.Total()-want) > 1e-9 {
+				return false
+			}
+			if q.Len() != len(q.Tasks()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueueAddRemove(b *testing.B) {
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Add(New(ID(i), 1, 0, 0))
+		if q.Len() > 64 {
+			q.Remove(q.Tasks()[0].ID)
+		}
+	}
+}

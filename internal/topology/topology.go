@@ -1,0 +1,483 @@
+// Package topology models the interconnection network G(V,E) of §4.2 of the
+// paper: the set of processing nodes, their links, and the 2-D embedding M2
+// that places each node on the plane (the "yard" of the physical analogy).
+//
+// The paper's algorithm only ever consults the neighbourhood structure and
+// per-link parameters, but the experiments sweep over the standard topologies
+// of the dynamic-load-balancing literature — mesh, torus, hypercube, ring —
+// plus a few extras (star, complete, random-regular, tree) used for edge
+// cases and scalability runs.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pplb/internal/rng"
+)
+
+// Point2 is a position of a node under the M2 embedding of §4.1. The paper
+// only requires that such an embedding exists; experiments use it for
+// visualisation and for geometric link lengths.
+type Point2 struct {
+	X, Y float64
+}
+
+// Edge is an undirected link between two node ids with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Graph is an undirected interconnection network with a fixed node set
+// {0..N-1}, sorted adjacency lists, and a 2-D embedding.
+type Graph struct {
+	name    string
+	adj     [][]int
+	coords  []Point2
+	edges   []Edge
+	edgeIdx map[Edge]int
+}
+
+// build finalises a graph from an adjacency-set representation.
+func build(name string, n int, adjSet []map[int]bool, coords []Point2) *Graph {
+	g := &Graph{name: name, adj: make([][]int, n), coords: coords}
+	for v := 0; v < n; v++ {
+		for u := range adjSet[v] {
+			g.adj[v] = append(g.adj[v], u)
+		}
+		sort.Ints(g.adj[v])
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.adj[v] {
+			if v < u {
+				g.edges = append(g.edges, Edge{U: v, V: u})
+			}
+		}
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].U != g.edges[j].U {
+			return g.edges[i].U < g.edges[j].U
+		}
+		return g.edges[i].V < g.edges[j].V
+	})
+	g.edgeIdx = make(map[Edge]int, len(g.edges))
+	for i, e := range g.edges {
+		g.edgeIdx[e] = i
+	}
+	if g.coords == nil {
+		g.coords = circleLayout(n)
+	}
+	return g
+}
+
+func newAdjSet(n int) []map[int]bool {
+	s := make([]map[int]bool, n)
+	for i := range s {
+		s[i] = make(map[int]bool)
+	}
+	return s
+}
+
+func addEdge(s []map[int]bool, u, v int) {
+	if u == v {
+		return
+	}
+	s[u][v] = true
+	s[v][u] = true
+}
+
+func circleLayout(n int) []Point2 {
+	pts := make([]Point2, n)
+	r := float64(n) / (2 * math.Pi)
+	if r < 1 {
+		r = 1
+	}
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(max(n, 1))
+		pts[i] = Point2{X: r * math.Cos(a), Y: r * math.Sin(a)}
+	}
+	return pts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name returns a human-readable topology name, e.g. "torus8x8".
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Neighbors returns the sorted neighbour list of v. The slice is shared;
+// callers must not modify it.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// Edges returns all undirected edges with U < V in canonical order. The
+// slice is shared; callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgeID returns the canonical index of the undirected edge {u,v} in
+// Edges(), and whether the edge exists. Orientation is ignored.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	i, ok := g.edgeIdx[Edge{U: u, V: v}]
+	return i, ok
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Coord returns the M2 embedding of node v.
+func (g *Graph) Coord(v int) Point2 { return g.coords[v] }
+
+// EuclideanLength returns the geometric length of the (u,v) link under M2.
+// Used as the default distance matrix D of §4.2.
+func (g *Graph) EuclideanLength(u, v int) float64 {
+	du := g.coords[u]
+	dv := g.coords[v]
+	dx, dy := du.X-dv.X, du.Y-dv.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// BFSDistances returns the hop distance from src to every node (-1 when
+// unreachable).
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected (true for N<=1).
+func (g *Graph) IsConnected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	for _, d := range g.BFSDistances(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the largest hop distance between any two nodes, or -1 for
+// a disconnected graph.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		for _, d := range g.BFSDistances(v) {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// EdgeColoring partitions the edge set into matchings ("colors"): no two
+// edges of one color share an endpoint. The dimension-exchange baseline
+// sweeps one color per phase so that every node balances with at most one
+// neighbour at a time, exactly as on the hypercube where colors coincide
+// with dimensions. Greedy coloring uses at most 2*maxDegree-1 colors
+// (Vizing guarantees maxDegree+1 exists; greedy is good enough here and
+// deterministic).
+func (g *Graph) EdgeColoring() [][]Edge {
+	var colors [][]Edge
+	// used[c][v] == true when node v already has a c-colored edge.
+	var used []map[int]bool
+	for _, e := range g.edges {
+		placed := false
+		for c := range colors {
+			if !used[c][e.U] && !used[c][e.V] {
+				colors[c] = append(colors[c], e)
+				used[c][e.U] = true
+				used[c][e.V] = true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			colors = append(colors, []Edge{e})
+			used = append(used, map[int]bool{e.U: true, e.V: true})
+		}
+	}
+	return colors
+}
+
+// NewMesh returns a rows x cols 2-D mesh (grid) with 4-neighbourhood.
+func NewMesh(rows, cols int) *Graph {
+	n := rows * cols
+	s := newAdjSet(n)
+	coords := make([]Point2, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			coords[id(r, c)] = Point2{X: float64(c), Y: float64(r)}
+			if c+1 < cols {
+				addEdge(s, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				addEdge(s, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return build(fmt.Sprintf("mesh%dx%d", rows, cols), n, s, coords)
+}
+
+// NewTorus returns a rows x cols 2-D torus (mesh with wraparound links).
+func NewTorus(rows, cols int) *Graph {
+	n := rows * cols
+	s := newAdjSet(n)
+	coords := make([]Point2, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			coords[id(r, c)] = Point2{X: float64(c), Y: float64(r)}
+			addEdge(s, id(r, c), id(r, (c+1)%cols))
+			addEdge(s, id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return build(fmt.Sprintf("torus%dx%d", rows, cols), n, s, coords)
+}
+
+// NewHypercube returns the n-dimensional hypercube Q_dim with 2^dim nodes.
+func NewHypercube(dim int) *Graph {
+	n := 1 << uint(dim)
+	s := newAdjSet(n)
+	coords := make([]Point2, n)
+	for v := 0; v < n; v++ {
+		// Lay nodes on a circle ordered by Gray code for a tidy drawing.
+		gray := v ^ (v >> 1)
+		a := 2 * math.Pi * float64(gray) / float64(n)
+		r := float64(dim)
+		coords[v] = Point2{X: r * math.Cos(a), Y: r * math.Sin(a)}
+		for d := 0; d < dim; d++ {
+			addEdge(s, v, v^(1<<uint(d)))
+		}
+	}
+	return build(fmt.Sprintf("hypercube%d", dim), n, s, coords)
+}
+
+// NewRing returns a cycle of n nodes (n >= 3 for a proper ring; smaller n
+// degenerate to a path/point).
+func NewRing(n int) *Graph {
+	s := newAdjSet(n)
+	for v := 0; v < n; v++ {
+		if n > 1 {
+			addEdge(s, v, (v+1)%n)
+		}
+	}
+	return build(fmt.Sprintf("ring%d", n), n, s, circleLayout(n))
+}
+
+// NewStar returns a star: node 0 is the hub connected to all others.
+func NewStar(n int) *Graph {
+	s := newAdjSet(n)
+	for v := 1; v < n; v++ {
+		addEdge(s, 0, v)
+	}
+	coords := circleLayout(n)
+	if n > 0 {
+		coords[0] = Point2{}
+	}
+	return build(fmt.Sprintf("star%d", n), n, s, coords)
+}
+
+// NewComplete returns the complete graph K_n. With every pair adjacent the
+// system behaves like the LAN scenario of the related-work section, where
+// all processors are mutually "neighbours".
+func NewComplete(n int) *Graph {
+	s := newAdjSet(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			addEdge(s, u, v)
+		}
+	}
+	return build(fmt.Sprintf("complete%d", n), n, s, circleLayout(n))
+}
+
+// NewTree returns a complete k-ary tree of the given depth (depth 0 is a
+// single root).
+func NewTree(arity, depth int) *Graph {
+	if arity < 1 {
+		arity = 1
+	}
+	// Count nodes.
+	n := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= arity
+		n += level
+	}
+	s := newAdjSet(n)
+	coords := make([]Point2, n)
+	// BFS order: children of node v are arity*v+1 .. arity*v+arity.
+	type item struct{ id, depth, slot, width int }
+	queue := []item{{0, 0, 0, 1}}
+	next := 1
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		coords[it.id] = Point2{
+			X: (float64(it.slot) + 0.5) / float64(it.width) * math.Pow(float64(arity), float64(depth)),
+			Y: float64(it.depth),
+		}
+		if it.depth == depth {
+			continue
+		}
+		for c := 0; c < arity; c++ {
+			child := next
+			next++
+			addEdge(s, it.id, child)
+			queue = append(queue, item{child, it.depth + 1, it.slot*arity + c, it.width * arity})
+		}
+	}
+	return build(fmt.Sprintf("tree%d^%d", arity, depth), n, s, coords)
+}
+
+// NewRandomRegular returns a connected random d-regular multigraph-free graph
+// on n nodes via the pairing model with retries, deterministically from seed.
+// n*d must be even and d < n. Used for scalability sweeps where structured
+// topologies would conflate size with diameter effects.
+func NewRandomRegular(n, d int, seed uint64) *Graph {
+	if n*d%2 != 0 {
+		panic("topology: NewRandomRegular requires n*d even")
+	}
+	if d >= n {
+		panic("topology: NewRandomRegular requires d < n")
+	}
+	r := rng.New(seed)
+	for attempt := 0; ; attempt++ {
+		if g, ok := tryPairing(n, d, r); ok && g.IsConnected() {
+			g.name = fmt.Sprintf("rr%d-d%d", n, d)
+			return g
+		}
+		if attempt > 200 {
+			// Fall back to a circulant graph, which is d-regular and
+			// connected; determinism matters more than randomness here.
+			return circulant(n, d)
+		}
+	}
+}
+
+func tryPairing(n, d int, r *rng.RNG) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	s := newAdjSet(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || s[u][v] {
+			return nil, false
+		}
+		addEdge(s, u, v)
+	}
+	return build("rr", n, s, nil), true
+}
+
+func circulant(n, d int) *Graph {
+	s := newAdjSet(n)
+	for v := 0; v < n; v++ {
+		for k := 1; k <= d/2; k++ {
+			addEdge(s, v, (v+k)%n)
+		}
+		if d%2 == 1 && n%2 == 0 {
+			addEdge(s, v, (v+n/2)%n)
+		}
+	}
+	return build(fmt.Sprintf("circ%d-d%d", n, d), n, s, circleLayout(n))
+}
+
+// NewCCC returns the cube-connected-cycles network CCC(d): each corner of a
+// d-dimensional hypercube is replaced by a cycle of d nodes, and node p of
+// corner w connects across dimension p. The result is 3-regular (for d >= 3)
+// with d·2^d nodes — the classic bounded-degree substitute for the
+// hypercube in multiprocessor designs. Node ids are w·d + p.
+func NewCCC(d int) *Graph {
+	if d < 1 {
+		panic("topology: NewCCC requires d >= 1")
+	}
+	corners := 1 << uint(d)
+	n := corners * d
+	s := newAdjSet(n)
+	id := func(w, p int) int { return w*d + p }
+	coords := make([]Point2, n)
+	for w := 0; w < corners; w++ {
+		gray := w ^ (w >> 1)
+		base := 2 * math.Pi * float64(gray) / float64(corners)
+		r := float64(d) * 2
+		for p := 0; p < d; p++ {
+			// Small per-cycle offset so cycle members do not overlap.
+			a := base + 0.2*float64(p)/float64(d)
+			coords[id(w, p)] = Point2{X: r * math.Cos(a), Y: r * math.Sin(a)}
+			if d > 1 {
+				addEdge(s, id(w, p), id(w, (p+1)%d))
+			}
+			addEdge(s, id(w, p), id(w^(1<<uint(p)), p))
+		}
+	}
+	return build(fmt.Sprintf("ccc%d", d), n, s, coords)
+}
+
+// MeshDims returns rows, cols for graphs created by NewMesh/NewTorus by
+// parsing the name, or ok=false otherwise. The surface visualiser uses it to
+// lay heights on a grid.
+func MeshDims(g *Graph) (rows, cols int, ok bool) {
+	var r, c int
+	if n, err := fmt.Sscanf(g.Name(), "mesh%dx%d", &r, &c); err == nil && n == 2 {
+		return r, c, true
+	}
+	if n, err := fmt.Sscanf(g.Name(), "torus%dx%d", &r, &c); err == nil && n == 2 {
+		return r, c, true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,275 @@
+// Package workload generates the initial load distributions, dynamic
+// arrival processes and task-dependency structures the experiments sweep
+// over. All generators are deterministic given their seed.
+//
+// Initial distributions return [][]float64 — the per-node task sizes that
+// sim.Config.Initial expects. Arrival processes return closures compatible
+// with sim.ArrivalFunc. Dependency builders decorate a taskmodel.Graph /
+// Resources over the ids the engine assigned (sequentially from 0, in node
+// order, matching sim's injection order).
+package workload
+
+import (
+	"pplb/internal/rng"
+	"pplb/internal/sim"
+	"pplb/internal/taskmodel"
+)
+
+// Hotspot places `tasks` tasks of the given size all on node `node`.
+// This is the classical worst case: one peak, the rest of the surface flat.
+func Hotspot(n, node, tasks int, size float64) [][]float64 {
+	init := make([][]float64, n)
+	for i := 0; i < tasks; i++ {
+		init[node] = append(init[node], size)
+	}
+	return init
+}
+
+// MultiHotspot splits `tasks` tasks evenly over `spots` nodes spread across
+// the id range — a rugged surface with several peaks and valleys.
+func MultiHotspot(n, spots, tasks int, size float64) [][]float64 {
+	if spots < 1 {
+		spots = 1
+	}
+	init := make([][]float64, n)
+	for i := 0; i < tasks; i++ {
+		spot := (i % spots) * n / spots
+		init[spot] = append(init[spot], size)
+	}
+	return init
+}
+
+// UniformRandom scatters `tasks` tasks of the given size over nodes chosen
+// uniformly at random.
+func UniformRandom(n, tasks int, size float64, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	init := make([][]float64, n)
+	for i := 0; i < tasks; i++ {
+		v := r.Intn(n)
+		init[v] = append(init[v], size)
+	}
+	return init
+}
+
+// Staircase gives node v exactly v+1 tasks of the given size: a monotone
+// ramp across node ids, the adversarial fixed-point shape for threshold
+// balancers.
+func Staircase(n int, size float64) [][]float64 {
+	init := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		for k := 0; k <= v; k++ {
+			init[v] = append(init[v], size)
+		}
+	}
+	return init
+}
+
+// Bimodal scatters tasks randomly with two size classes: with probability
+// pLarge a task has size large, otherwise small.
+func Bimodal(n, tasks int, small, large, pLarge float64, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	init := make([][]float64, n)
+	for i := 0; i < tasks; i++ {
+		v := r.Intn(n)
+		size := small
+		if r.Bernoulli(pLarge) {
+			size = large
+		}
+		init[v] = append(init[v], size)
+	}
+	return init
+}
+
+// Equal gives every node perNode tasks of the given size — the
+// already-balanced control.
+func Equal(n, perNode int, size float64) [][]float64 {
+	init := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < perNode; k++ {
+			init[v] = append(init[v], size)
+		}
+	}
+	return init
+}
+
+// TotalLoad sums an initial distribution.
+func TotalLoad(init [][]float64) float64 {
+	t := 0.0
+	for _, sizes := range init {
+		for _, s := range sizes {
+			t += s
+		}
+	}
+	return t
+}
+
+// CountTasks counts the tasks of an initial distribution.
+func CountTasks(init [][]float64) int {
+	c := 0
+	for _, sizes := range init {
+		c += len(sizes)
+	}
+	return c
+}
+
+// PoissonArrivals returns an arrival process injecting Poisson(ratePerNode)
+// tasks of the given mean size (exponentially distributed) at every node
+// each tick.
+func PoissonArrivals(ratePerNode, meanSize float64, n int) sim.ArrivalFunc {
+	return func(tick int64, r *rng.RNG) []sim.Arrival {
+		var out []sim.Arrival
+		for v := 0; v < n; v++ {
+			k := r.Poisson(ratePerNode)
+			for i := 0; i < k; i++ {
+				out = append(out, sim.Arrival{Node: v, Load: meanSize * r.ExpFloat64()})
+			}
+		}
+		return out
+	}
+}
+
+// HotspotArrivals injects Poisson(rate) tasks of fixed size at a single
+// node — a persistent generator of imbalance.
+func HotspotArrivals(node int, rate, size float64) sim.ArrivalFunc {
+	return func(tick int64, r *rng.RNG) []sim.Arrival {
+		var out []sim.Arrival
+		for i := r.Poisson(rate); i > 0; i-- {
+			out = append(out, sim.Arrival{Node: node, Load: size})
+		}
+		return out
+	}
+}
+
+// BurstArrivals injects a burst of `burst` tasks at a rotating node every
+// `period` ticks — bursty, non-stationary load.
+func BurstArrivals(period int64, burst int, size float64, n int) sim.ArrivalFunc {
+	return func(tick int64, r *rng.RNG) []sim.Arrival {
+		if period <= 0 || tick%period != 0 {
+			return nil
+		}
+		node := int(tick/period) % n
+		out := make([]sim.Arrival, burst)
+		for i := range out {
+			out[i] = sim.Arrival{Node: node, Load: size}
+		}
+		return out
+	}
+}
+
+// Schedule replays a fixed list of timed injections: each entry fires once
+// at its tick. Entries need not be sorted. Useful for trace-driven
+// experiments and exact regression scenarios.
+type TimedArrival struct {
+	Tick int64
+	Node int
+	Load float64
+}
+
+// ScheduleArrivals returns an arrival process replaying the given schedule.
+func ScheduleArrivals(entries []TimedArrival) sim.ArrivalFunc {
+	byTick := make(map[int64][]sim.Arrival)
+	for _, e := range entries {
+		byTick[e.Tick] = append(byTick[e.Tick], sim.Arrival{Node: e.Node, Load: e.Load})
+	}
+	return func(tick int64, _ *rng.RNG) []sim.Arrival {
+		return byTick[tick]
+	}
+}
+
+// Combine merges several arrival processes into one.
+func Combine(fns ...sim.ArrivalFunc) sim.ArrivalFunc {
+	return func(tick int64, r *rng.RNG) []sim.Arrival {
+		var out []sim.Arrival
+		for i, fn := range fns {
+			if fn == nil {
+				continue
+			}
+			out = append(out, fn(tick, r.Split(uint64(i)))...)
+		}
+		return out
+	}
+}
+
+// taskIDs returns the ids 0..count-1 as taskmodel IDs; the engine assigns
+// ids sequentially in injection order, so for an initial distribution these
+// are exactly the ids of the initial tasks.
+func taskIDs(count int) []taskmodel.ID {
+	ids := make([]taskmodel.ID, count)
+	for i := range ids {
+		ids[i] = taskmodel.ID(i)
+	}
+	return ids
+}
+
+// ChainDeps links the initial tasks of a distribution into chains of the
+// given length with uniform dependency weight w: tasks {0..k-1}, {k..2k-1},
+// … depend on their chain neighbours. Returns the populated graph.
+func ChainDeps(init [][]float64, chainLen int, w float64) *taskmodel.Graph {
+	tg := taskmodel.NewGraph()
+	if chainLen < 2 {
+		return tg
+	}
+	ids := taskIDs(CountTasks(init))
+	for i := 1; i < len(ids); i++ {
+		if i%chainLen != 0 {
+			tg.SetDep(ids[i-1], ids[i], w)
+		}
+	}
+	return tg
+}
+
+// ClusteredDeps partitions the initial tasks into clusters of the given size
+// and adds all-pairs dependencies of weight w within each cluster —
+// modelling tightly communicating task groups.
+func ClusteredDeps(init [][]float64, clusterSize int, w float64) *taskmodel.Graph {
+	tg := taskmodel.NewGraph()
+	if clusterSize < 2 {
+		return tg
+	}
+	ids := taskIDs(CountTasks(init))
+	for start := 0; start < len(ids); start += clusterSize {
+		end := start + clusterSize
+		if end > len(ids) {
+			end = len(ids)
+		}
+		for a := start; a < end; a++ {
+			for b := a + 1; b < end; b++ {
+				tg.SetDep(ids[a], ids[b], w)
+			}
+		}
+	}
+	return tg
+}
+
+// RandomDeps adds each possible dependency with probability p and weight w,
+// deterministically from seed.
+func RandomDeps(init [][]float64, p, w float64, seed uint64) *taskmodel.Graph {
+	tg := taskmodel.NewGraph()
+	r := rng.New(seed)
+	ids := taskIDs(CountTasks(init))
+	for a := 0; a < len(ids); a++ {
+		for b := a + 1; b < len(ids); b++ {
+			if r.Bernoulli(p) {
+				tg.SetDep(ids[a], ids[b], w)
+			}
+		}
+	}
+	return tg
+}
+
+// PinnedResources gives every initial task of node v a resource affinity w
+// to its origin node with probability p — tasks tied to local data.
+func PinnedResources(init [][]float64, p, w float64, seed uint64) *taskmodel.Resources {
+	res := taskmodel.NewResources()
+	r := rng.New(seed)
+	id := taskmodel.ID(0)
+	for v, sizes := range init {
+		for range sizes {
+			if r.Bernoulli(p) {
+				res.SetAffinity(id, v, w)
+			}
+			id++
+		}
+	}
+	return res
+}

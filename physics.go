@@ -1,0 +1,58 @@
+package pplb
+
+import "pplb/internal/physics"
+
+// Physics facade: the Section-3 particle-and-plane engine, exported so the
+// physical model backing the balancer can be studied (and plotted) on its
+// own. See the examples/physicsdemo program.
+type (
+	// Slope is a box on an inclined plane (Fig. 1 statics).
+	Slope = physics.Slope
+	// Plane is a discrete bumpy surface.
+	Plane = physics.Plane
+	// Particle slides on a Plane under gravity and friction.
+	Particle = physics.Particle
+	// Trajectory records a particle simulation.
+	Trajectory = physics.Trajectory
+	// TrajectoryPoint is one recorded simulation step.
+	TrajectoryPoint = physics.TrajectoryPoint
+	// Contour is a sub-level region of a plane (Fig. 3).
+	Contour = physics.Contour
+)
+
+// NewPlane returns a flat w×h plane.
+func NewPlane(w, h int) *Plane { return physics.NewPlane(w, h) }
+
+// PlaneFromFunc builds a plane with heights f(x, y).
+func PlaneFromFunc(w, h int, f func(x, y int) float64) *Plane {
+	return physics.PlaneFromFunc(w, h, f)
+}
+
+// BowlPlane builds a radial valley (used by the Fig. 3 experiments).
+func BowlPlane(size int, depth, sharpness float64) *Plane {
+	return physics.BowlPlane(size, depth, sharpness)
+}
+
+// RampPlane builds a 1×n descending ramp.
+func RampPlane(n int, dropPerCell float64) *Plane { return physics.RampPlane(n, dropPerCell) }
+
+// DoubleWellPlane builds two valleys separated by a hill.
+func DoubleWellPlane(n int, release, hill float64) *Plane {
+	return physics.DoubleWellPlane(n, release, hill)
+}
+
+// NewParticle places a stationary particle on pl at (x,y).
+func NewParticle(pl *Plane, x, y int, mass, muS, muK, g float64) *Particle {
+	return physics.NewParticle(pl, x, y, mass, muS, muK, g)
+}
+
+// SimulateParticle releases the particle and records its trajectory until
+// it settles or maxSteps elapse.
+func SimulateParticle(pl *Plane, pt *Particle, maxSteps int) *Trajectory {
+	return physics.Simulate(pl, pt, maxSteps)
+}
+
+// SubLevelContour returns the connected below-level region around (x,y).
+func SubLevelContour(pl *Plane, x, y int, level float64) *Contour {
+	return physics.SubLevelContour(pl, x, y, level)
+}

@@ -1,0 +1,266 @@
+package pplb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := Torus(4, 4)
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+		WithInitial(HotspotLoad(g.N(), 0, 128, 0.25)),
+		WithSeed(42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv := sys.CV(); cv < 1 {
+		t.Fatalf("hotspot must start grossly imbalanced, CV=%v", cv)
+	}
+	sys.Run(400)
+	if cv := sys.CV(); cv > 0.35 {
+		t.Fatalf("system did not balance: CV=%v", cv)
+	}
+	if sys.Counters().Migrations == 0 {
+		t.Fatal("no migrations recorded")
+	}
+	if sys.Metrics().Len() == 0 {
+		t.Fatal("metrics not collected")
+	}
+	if math.Abs(sys.State().TotalLoad()-32) > 1e-9 {
+		t.Fatal("load not conserved")
+	}
+}
+
+func TestRunUntilBalanced(t *testing.T) {
+	g := Hypercube(4)
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+		WithInitial(HotspotLoad(g.N(), 0, 128, 0.25)),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks, ok := sys.RunUntilBalanced(0.3, 2000)
+	if !ok {
+		t.Fatalf("did not balance in 2000 ticks (CV=%v)", sys.CV())
+	}
+	if ticks == 0 {
+		t.Fatal("balance cannot be instant from a hotspot")
+	}
+}
+
+func TestTopologyConstructors(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		n    int
+		name string
+	}{
+		{Mesh(2, 3), 6, "mesh"},
+		{Torus(3, 3), 9, "torus"},
+		{Hypercube(3), 8, "hypercube"},
+		{Ring(5), 5, "ring"},
+		{Star(6), 6, "star"},
+		{Complete(4), 4, "complete"},
+		{Tree(2, 2), 7, "tree"},
+		{RandomRegular(10, 3, 1), 10, "rr"},
+		{CCC(3), 24, "ccc"},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n {
+			t.Errorf("%s: N=%d want %d", c.name, c.g.N(), c.n)
+		}
+		if !c.g.IsConnected() {
+			t.Errorf("%s: not connected", c.name)
+		}
+	}
+}
+
+func TestBaselinePoliciesRun(t *testing.T) {
+	g := Torus(4, 4)
+	policies := []Policy{
+		DiffusionPolicy(0),
+		DimensionExchangePolicy(g),
+		GradientModelPolicy(),
+		CWNPolicy(0),
+		RandomSenderPolicy(),
+		NoPolicy(),
+	}
+	for _, p := range policies {
+		sys, err := NewSystem(g, p,
+			WithInitial(UniformRandomLoad(g.N(), 64, 0.5, 3)),
+			WithSeed(1))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		sys.Run(100)
+		if math.Abs(sys.State().TotalLoad()-32) > 1e-9 {
+			t.Fatalf("%s: load not conserved", p.Name())
+		}
+	}
+}
+
+func TestFaultyLinksOption(t *testing.T) {
+	g := Torus(4, 4)
+	links := Links(g, WithUniformFault(0.3))
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+		WithLinks(links),
+		WithInitial(HotspotLoad(g.N(), 0, 64, 0.5)),
+		WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(300)
+	if sys.Counters().Faults == 0 {
+		t.Fatal("expected link faults at p=0.3")
+	}
+	if math.Abs(sys.State().TotalLoad()-32) > 1e-9 {
+		t.Fatal("faults must not lose tasks")
+	}
+}
+
+func TestDependencyOptions(t *testing.T) {
+	g := Ring(4)
+	init := HotspotLoad(g.N(), 0, 8, 1)
+	tg := ClusteredDeps(init, 8, 100) // everything pinned together
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+		WithInitial(init),
+		WithTaskGraph(tg),
+		WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100)
+	if sys.Counters().Migrations != 0 {
+		t.Fatal("fully interdependent cluster must stay put")
+	}
+}
+
+func TestArrivalsAndService(t *testing.T) {
+	g := Torus(4, 4)
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+		WithArrivals(PoissonArrivals(0.2, 1, g.N())),
+		WithServiceRate(0.5),
+		WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(500)
+	if sys.State().ResponseTimes().N() == 0 {
+		t.Fatal("service must complete tasks")
+	}
+}
+
+func TestObserverOption(t *testing.T) {
+	g := Ring(4)
+	count := 0
+	sys, err := NewSystem(g, NoPolicy(),
+		WithObserver(func(*State) { count++ }),
+		WithMetricsEvery(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(20)
+	if count != 20 {
+		t.Fatalf("observer fired %d times, want 20", count)
+	}
+	if sys.Metrics().Len() != 2 {
+		t.Fatalf("metrics samples = %d, want 2", sys.Metrics().Len())
+	}
+}
+
+func TestWorkersOptionIdentical(t *testing.T) {
+	mk := func(workers int) []float64 {
+		g := Torus(4, 4)
+		sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+			WithInitial(HotspotLoad(g.N(), 0, 64, 0.5)),
+			WithSeed(3),
+			WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(150)
+		return sys.Loads()
+	}
+	a, b := mk(1), mk(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("workers option changed results")
+		}
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	r := RunExperiment("fig1", false)
+	if r == nil || r.ID != "E1" {
+		t.Fatal("fig1 lookup failed")
+	}
+	if !r.AllPassed() {
+		t.Fatalf("E1 checks failed: %v", r.FailedChecks())
+	}
+	if RunExperiment("nope", false) != nil {
+		t.Fatal("unknown experiment must be nil")
+	}
+	if len(ExperimentIDs()) != 14 || len(ExperimentDescriptions()) != 14 {
+		t.Fatal("experiment registry incomplete")
+	}
+}
+
+func TestWithSpeedsOption(t *testing.T) {
+	g := Ring(2)
+	sys, err := NewSystem(g, NoPolicy(),
+		WithInitial([][]float64{{4}, {4}}),
+		WithSpeeds([]float64{2, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sys.Heights()
+	if h[0] != 2 || h[1] != 4 {
+		t.Fatalf("heights = %v, want [2 4]", h)
+	}
+	if sys.Loads()[0] != 4 {
+		t.Fatal("raw loads must be unscaled")
+	}
+	if sys.CV() == 0 {
+		t.Fatal("heterogeneous heights here are imbalanced")
+	}
+	// Bad speeds surface as a construction error.
+	if _, err := NewSystem(g, NoPolicy(), WithSpeeds([]float64{1})); err == nil {
+		t.Fatal("wrong speeds length must error")
+	}
+}
+
+func TestStaticMappingFacade(t *testing.T) {
+	g := Ring(4)
+	loads := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	p := &MappingProblem{G: g, Loads: loads}
+	lpt := LPTMapping(p)
+	if len(lpt) != 8 {
+		t.Fatalf("LPT assignment length = %d", len(lpt))
+	}
+	sa, cost := StaticMap(p, AnnealParams{Iterations: 3000, Seed: 1})
+	if cost > p.Cost(lpt)+1e-9 {
+		t.Fatal("annealing must not worsen LPT")
+	}
+	// Feed the mapping into a simulation.
+	init, ids := p.InitialDistribution(sa)
+	if len(ids) != 8 {
+		t.Fatalf("engineToTask length = %d", len(ids))
+	}
+	sys, err := NewSystem(g, NoPolicy(), WithInitial(init))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.State().TotalLoad() != 8 {
+		t.Fatal("mapped load must be fully placed")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, NoPolicy()); err == nil {
+		t.Fatal("nil graph must error")
+	}
+	if _, err := NewSystem(Ring(3), nil); err == nil {
+		t.Fatal("nil policy must error")
+	}
+}
