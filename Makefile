@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check check bench bench-json experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Quick-variant experiment run with machine-readable shape checks — the CI
+# gate that the paper artifacts still reproduce.
+experiments:
+	$(GO) run ./cmd/pplb-bench -checks checks.json > /dev/null
+	@echo "experiment shape checks passed (checks.json)"
+
+check: fmt-check vet build test experiments
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkTick -benchmem .
+
+bench-json:
+	$(GO) run ./cmd/pplb-bench -benchjson bench.json

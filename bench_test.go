@@ -68,17 +68,19 @@ func BenchmarkE14StaticVsDynamic(b *testing.B) { benchExperiment(b, "E14") }
 
 // --- engine micro-benchmarks through the public API ---
 
-func benchSystemTick(b *testing.B, g *Graph, policy Policy, tasks int) {
+// benchTickScenario runs a scenario from the shared table backing both
+// these benchmarks and `pplb-bench -benchjson`.
+func benchTickScenario(b *testing.B, name string) {
 	b.Helper()
-	sys, err := NewSystem(g, policy,
-		WithInitial(HotspotLoad(g.N(), 0, tasks, 0.5)),
-		WithSeed(1),
-		WithMetricsEvery(1<<30), // effectively disable metrics in the hot loop
-	)
+	sc := tickBenchScenario(name)
+	if sc == nil {
+		b.Fatalf("unknown tick scenario %q", name)
+	}
+	sys, err := sc.New()
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys.Run(20) // spread load so ticks measure steady-state work
+	defer sys.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Step()
@@ -87,47 +89,23 @@ func benchSystemTick(b *testing.B, g *Graph, policy Policy, tasks int) {
 
 // BenchmarkTickPPLBTorus256 measures one engine tick of PPLB on a 16x16
 // torus with 512 tasks.
-func BenchmarkTickPPLBTorus256(b *testing.B) {
-	benchSystemTick(b, Torus(16, 16), NewBalancer(DefaultBalancerConfig()), 512)
-}
+func BenchmarkTickPPLBTorus256(b *testing.B) { benchTickScenario(b, "TickPPLBTorus256") }
 
 // BenchmarkTickPPLBTorus1024 measures one engine tick of PPLB on a 32x32
 // torus with 2048 tasks.
-func BenchmarkTickPPLBTorus1024(b *testing.B) {
-	benchSystemTick(b, Torus(32, 32), NewBalancer(DefaultBalancerConfig()), 2048)
-}
+func BenchmarkTickPPLBTorus1024(b *testing.B) { benchTickScenario(b, "TickPPLBTorus1024") }
 
 // BenchmarkTickDiffusionTorus256 measures the diffusion baseline for
 // comparison.
-func BenchmarkTickDiffusionTorus256(b *testing.B) {
-	benchSystemTick(b, Torus(16, 16), DiffusionPolicy(0), 512)
-}
+func BenchmarkTickDiffusionTorus256(b *testing.B) { benchTickScenario(b, "TickDiffusionTorus256") }
 
 // BenchmarkTickGMTorus256 measures the gradient-model baseline (includes the
 // per-tick BFS pressure relaxation).
-func BenchmarkTickGMTorus256(b *testing.B) {
-	benchSystemTick(b, Torus(16, 16), GradientModelPolicy(), 512)
-}
+func BenchmarkTickGMTorus256(b *testing.B) { benchTickScenario(b, "TickGMTorus256") }
 
 // BenchmarkTickPPLBParallel measures goroutine-parallel planning on a large
 // graph.
-func BenchmarkTickPPLBParallel(b *testing.B) {
-	g := RandomRegular(1024, 4, 7)
-	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
-		WithInitial(UniformRandomLoad(g.N(), 4096, 0.5, 3)),
-		WithSeed(1),
-		WithWorkers(8),
-		WithMetricsEvery(1<<30),
-	)
-	if err != nil {
-		b.Fatal(err)
-	}
-	sys.Run(10)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys.Step()
-	}
-}
+func BenchmarkTickPPLBParallel(b *testing.B) { benchTickScenario(b, "TickPPLBParallel8") }
 
 // BenchmarkStaticMapping measures the simulated-annealing mapper.
 func BenchmarkStaticMapping(b *testing.B) {

@@ -1,0 +1,74 @@
+package pplb
+
+// TickBenchScenario is one engine tick-benchmark configuration. The same
+// table backs the go-test BenchmarkTick* benchmarks and the machine-readable
+// `pplb-bench -benchjson` record, so the two report comparable numbers and
+// cannot drift apart.
+type TickBenchScenario struct {
+	Name string
+	// New builds the system and advances it to the measured steady state.
+	New func() (*System, error)
+}
+
+func tickScenario(name string, mkGraph func() *Graph, mkPolicy func() Policy, tasks, warm int, extra ...Option) TickBenchScenario {
+	return TickBenchScenario{
+		Name: name,
+		New: func() (*System, error) {
+			g := mkGraph()
+			opts := append([]Option{
+				WithInitial(HotspotLoad(g.N(), 0, tasks, 0.5)),
+				WithSeed(1),
+				WithMetricsEvery(1 << 30), // effectively disable metrics in the hot loop
+			}, extra...)
+			sys, err := NewSystem(g, mkPolicy(), opts...)
+			if err != nil {
+				return nil, err
+			}
+			sys.Run(warm) // spread load so ticks measure steady-state work
+			return sys, nil
+		},
+	}
+}
+
+// TickBenchScenarios returns the engine scenarios tracked across PRs (see
+// BENCH_PR1.json for the recorded trajectory).
+func TickBenchScenarios() []TickBenchScenario {
+	parallel := TickBenchScenario{
+		Name: "TickPPLBParallel8",
+		New: func() (*System, error) {
+			g := RandomRegular(1024, 4, 7)
+			sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+				WithInitial(UniformRandomLoad(g.N(), 4096, 0.5, 3)),
+				WithSeed(1),
+				WithWorkers(8),
+				WithMetricsEvery(1<<30),
+			)
+			if err != nil {
+				return nil, err
+			}
+			sys.Run(10)
+			return sys, nil
+		},
+	}
+	return []TickBenchScenario{
+		tickScenario("TickPPLBTorus256", func() *Graph { return Torus(16, 16) },
+			func() Policy { return NewBalancer(DefaultBalancerConfig()) }, 512, 20),
+		tickScenario("TickPPLBTorus1024", func() *Graph { return Torus(32, 32) },
+			func() Policy { return NewBalancer(DefaultBalancerConfig()) }, 2048, 20),
+		tickScenario("TickDiffusionTorus256", func() *Graph { return Torus(16, 16) },
+			func() Policy { return DiffusionPolicy(0) }, 512, 20),
+		tickScenario("TickGMTorus256", func() *Graph { return Torus(16, 16) },
+			func() Policy { return GradientModelPolicy() }, 512, 20),
+		parallel,
+	}
+}
+
+// TickBenchScenario lookup by name; nil when unknown.
+func tickBenchScenario(name string) *TickBenchScenario {
+	for _, s := range TickBenchScenarios() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	return nil
+}

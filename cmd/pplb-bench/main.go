@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	pplb-bench [-full] [-out FILE] [-checks FILE] [experiment ...]
+//	pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [experiment ...]
 //
 // With no arguments it runs the whole registry. Experiments are named by id
 // (E1..E14) or alias (fig1, fig2, fig3, table1, thm2, compare, faults, deps,
 // anneal, dynamic, scale, ablate, hetero, static). -full selects the
 // paper-scale parameters used for EXPERIMENTS.md (slower); the default is
 // the quick variant. -checks writes a machine-readable JSON summary of all
-// shape checks (a CI gate).
+// shape checks (a CI gate). -benchjson runs the engine tick
+// micro-benchmarks instead of the experiment registry and writes a
+// machine-readable record of ns/op and allocs/op per scenario, so the
+// repository can track its performance trajectory across PRs.
 package main
 
 import (
@@ -20,17 +23,91 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"testing"
 
 	"pplb"
 )
+
+// benchRecord is the machine-readable output of -benchjson.
+type benchRecord struct {
+	Schema     string           `json:"schema"` // "pplb-bench/1"
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	Benchmarks []benchmarkEntry `json:"benchmarks"`
+}
+
+type benchmarkEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func runBenchJSON(path string) error {
+	// Open the output before spending minutes benchmarking, so a bad path
+	// fails immediately.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rec := benchRecord{
+		Schema:    "pplb-bench/1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	// The scenario table is shared with the go-test BenchmarkTick*
+	// benchmarks, so -benchjson numbers are directly comparable to theirs.
+	for _, bm := range pplb.TickBenchScenarios() {
+		sys, err := bm.New()
+		if err != nil {
+			f.Close()
+			os.Remove(path) // don't leave a truncated record behind
+			return fmt.Errorf("%s: %w", bm.Name, err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys.Step()
+			}
+		})
+		sys.Close()
+		rec.Benchmarks = append(rec.Benchmarks, benchmarkEntry{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			bm.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	// A close error means a short write: the record on disk is not trustworthy.
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
 
 func main() {
 	full := flag.Bool("full", false, "run the paper-scale (slow) variants")
 	out := flag.String("out", "", "also write the reports to this file")
 	checksPath := flag.String("checks", "", "write a machine-readable JSON summary of all checks to this file")
+	benchJSON := flag.String("benchjson", "", "run the engine tick micro-benchmarks and write a machine-readable record to this file")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pplb-bench [-full] [-out FILE] [experiment ...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [experiment ...]\n\nexperiments:\n")
 		for _, d := range pplb.ExperimentDescriptions() {
 			fmt.Fprintf(os.Stderr, "  %s\n", d)
 		}
@@ -40,6 +117,14 @@ func main() {
 	if *list {
 		for _, d := range pplb.ExperimentDescriptions() {
 			fmt.Println(d)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,3 @@
+module pplb
+
+go 1.24

@@ -32,8 +32,9 @@
 package arbiter
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"pplb/internal/rng"
 )
@@ -117,9 +118,21 @@ func (s Stochastic) Probabilities(scores []float64, t int64) []float64 {
 		return nil
 	}
 	probs := make([]float64, m)
+	w := make([]float64, m)
+	order := make([]int, m)
+	s.fillProbabilities(scores, t, probs, w, order)
+	return probs
+}
+
+// fillProbabilities computes the free-trials distribution into probs using
+// the caller-provided order and w buffers (all of length len(scores)). It is
+// the shared core of Probabilities and the allocation-free Choose fast path,
+// so both produce bit-identical distributions.
+func (s Stochastic) fillProbabilities(scores []float64, t int64, probs, w []float64, order []int) {
+	m := len(scores)
 	if m == 1 {
 		probs[0] = 1
-		return probs
+		return
 	}
 	lo, hi := scores[0], scores[0]
 	for _, v := range scores {
@@ -135,18 +148,23 @@ func (s Stochastic) Probabilities(scores []float64, t int64) []float64 {
 		for i := range probs {
 			probs[i] = 1 / float64(m)
 		}
-		return probs
+		return
+	}
+	for i := range probs {
+		probs[i] = 0
 	}
 	beta := s.Beta(t)
-	// Rank order: descending score, ascending index on ties (determinism).
-	order := make([]int, m)
+	// Rank order: descending score, ascending index on ties (determinism —
+	// the stable sort preserves index order within equal scores).
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	slices.SortStableFunc(order, func(a, b int) int {
+		return cmp.Compare(scores[b], scores[a])
+	})
 	if beta <= 0 {
 		probs[order[0]] = 1
-		return probs
+		return
 	}
 	// Free-trials distribution: w_k = q_k · Π_{x<k}(1−q_x), renormalised
 	// (trials repeat until success). The ε floor keeps the flattest slope's
@@ -154,7 +172,6 @@ func (s Stochastic) Probabilities(scores []float64, t int64) []float64 {
 	const eps = 0.1
 	remain := 1.0
 	total := 0.0
-	w := make([]float64, m)
 	for k, idx := range order {
 		sk := (scores[idx] - lo) / (hi - lo)
 		qk := 1 - math.Pow(beta, eps+(1-eps)*sk)
@@ -167,20 +184,35 @@ func (s Stochastic) Probabilities(scores []float64, t int64) []float64 {
 		for i := range probs {
 			probs[i] = 1 / float64(m)
 		}
-		return probs
+		return
 	}
 	for k, idx := range order {
 		probs[idx] = w[k] / total
 	}
-	return probs
 }
 
-// Choose implements Chooser by sampling from Probabilities.
+// chooseBuf bounds the stack-allocated fast path of Choose; candidate sets
+// are per-node neighbour lists, which are tiny on every standard topology.
+const chooseBuf = 16
+
+// Choose implements Chooser by sampling from Probabilities. For candidate
+// sets up to chooseBuf entries (every standard topology) it runs on stack
+// buffers and performs no heap allocation.
 func (s Stochastic) Choose(scores []float64, t int64, r *rng.RNG) int {
-	if len(scores) == 0 {
+	m := len(scores)
+	if m == 0 {
 		panic("arbiter: Choose on empty scores")
 	}
-	probs := s.Probabilities(scores, t)
+	var pbuf, wbuf [chooseBuf]float64
+	var obuf [chooseBuf]int
+	var probs, w []float64
+	var order []int
+	if m <= chooseBuf {
+		probs, w, order = pbuf[:m], wbuf[:m], obuf[:m]
+	} else {
+		probs, w, order = make([]float64, m), make([]float64, m), make([]int, m)
+	}
+	s.fillProbabilities(scores, t, probs, w, order)
 	u := r.Float64()
 	acc := 0.0
 	for i, p := range probs {
@@ -189,7 +221,7 @@ func (s Stochastic) Choose(scores []float64, t int64, r *rng.RNG) int {
 			return i
 		}
 	}
-	return len(scores) - 1 // numerical tail
+	return m - 1 // numerical tail
 }
 
 // Boltzmann is an alternative annealing arbiter (extension): softmax

@@ -298,3 +298,28 @@ func BenchmarkStochasticChoose(b *testing.B) {
 		_ = s.Choose(scores, int64(i), r)
 	}
 }
+
+// Choose's allocation-free fast path must agree with the analytic
+// Probabilities distribution — including beyond the stack-buffer bound.
+func TestChooseConsistentWithProbabilitiesLargeAndSmall(t *testing.T) {
+	s := DefaultStochastic()
+	for _, m := range []int{2, 3, chooseBuf, chooseBuf + 5} {
+		scores := make([]float64, m)
+		for i := range scores {
+			scores[i] = float64((i * 7) % m)
+		}
+		counts := make([]int, m)
+		r := rng.New(9)
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			counts[s.Choose(scores, 10, r)]++
+		}
+		probs := s.Probabilities(scores, 10)
+		for i := range probs {
+			got := float64(counts[i]) / trials
+			if diff := math.Abs(got - probs[i]); diff > 0.02 {
+				t.Fatalf("m=%d index %d: empirical %v vs analytic %v", m, i, got, probs[i])
+			}
+		}
+	}
+}

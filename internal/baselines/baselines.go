@@ -80,7 +80,16 @@ func (d Diffusion) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 	}
 	lv := view.Height(v)
 	var moves []sim.Move
-	moved := make(map[taskmodel.ID]bool)
+	// A node proposes at most one move per link; membership in the tiny
+	// moves slice doubles as the per-tick "already sent" set.
+	sent := func(id taskmodel.ID) bool {
+		for _, m := range moves {
+			if m.TaskID == id {
+				return true
+			}
+		}
+		return false
+	}
 	for _, j := range view.Graph().Neighbors(v) {
 		if view.LinkBusy(v, j) {
 			continue
@@ -103,7 +112,7 @@ func (d Diffusion) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 		budget := alpha * (lv - lj) * view.Speed(v)
 		var best *taskmodel.Task
 		for _, t := range tasks {
-			if moved[t.ID] || t.Load > budget {
+			if t.Load > budget || sent(t.ID) {
 				continue
 			}
 			if best == nil || t.Load > best.Load || (t.Load == best.Load && t.ID < best.ID) {
@@ -118,7 +127,7 @@ func (d Diffusion) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 			// pair's gap never inverts.
 			var smallest *taskmodel.Task
 			for _, t := range tasks {
-				if moved[t.ID] {
+				if sent(t.ID) {
 					continue
 				}
 				if smallest == nil || t.Load < smallest.Load || (t.Load == smallest.Load && t.ID < smallest.ID) {
@@ -133,7 +142,6 @@ func (d Diffusion) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 			continue
 		}
 		moves = append(moves, sim.Move{TaskID: best.ID, From: v, To: j, NewFlag: sim.NaNFlag()})
-		moved[best.ID] = true
 		lv -= best.Load / view.Speed(v)
 	}
 	return moves
@@ -204,6 +212,8 @@ type GradientModel struct {
 	HighFactor float64
 
 	pressure []int
+	heights  []float64 // scratch: per-tick height vector
+	bfs      []int     // scratch: BFS queue
 	mean     float64
 	wmax     int
 }
@@ -223,13 +233,15 @@ func (g *GradientModel) factors() (lo, hi float64) {
 }
 
 // PrepareTick implements sim.TickPreparer: recomputes the pressure surface.
+// Runs on reusable scratch buffers, so steady-state ticks do not allocate.
 func (g *GradientModel) PrepareTick(view *sim.View) {
 	n := view.N()
 	if cap(g.pressure) < n {
 		g.pressure = make([]int, n)
 	}
 	g.pressure = g.pressure[:n]
-	loads := view.Heights()
+	g.heights = view.HeightsInto(g.heights)
+	loads := g.heights
 	sum := 0.0
 	for _, l := range loads {
 		sum += l
@@ -238,7 +250,10 @@ func (g *GradientModel) PrepareTick(view *sim.View) {
 	lo, _ := g.factors()
 	g.wmax = view.Graph().N() + 1 // conservative "unreachable" cap
 	// Multi-source BFS from underloaded nodes.
-	queue := make([]int, 0, n)
+	if cap(g.bfs) < n {
+		g.bfs = make([]int, 0, n)
+	}
+	queue := g.bfs[:0]
 	for v := 0; v < n; v++ {
 		if loads[v] < lo*g.mean {
 			g.pressure[v] = 0
@@ -247,9 +262,8 @@ func (g *GradientModel) PrepareTick(view *sim.View) {
 			g.pressure[v] = g.wmax
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, u := range view.Graph().Neighbors(v) {
 			if g.pressure[u] > g.pressure[v]+1 {
 				g.pressure[u] = g.pressure[v] + 1
@@ -257,6 +271,7 @@ func (g *GradientModel) PrepareTick(view *sim.View) {
 			}
 		}
 	}
+	g.bfs = queue[:0]
 }
 
 // PlanNode implements sim.Policy.
@@ -361,7 +376,8 @@ type RandomSender struct {
 	// current mean load (0 = 1.0).
 	ThresholdFactor float64
 
-	mean float64
+	mean    float64
+	heights []float64 // scratch: per-tick height vector
 }
 
 // Name implements sim.Policy.
@@ -369,12 +385,12 @@ func (r *RandomSender) Name() string { return "random" }
 
 // PrepareTick implements sim.TickPreparer: caches the mean load.
 func (r *RandomSender) PrepareTick(view *sim.View) {
-	loads := view.Heights()
+	r.heights = view.HeightsInto(r.heights)
 	sum := 0.0
-	for _, l := range loads {
+	for _, l := range r.heights {
 		sum += l
 	}
-	r.mean = sum / float64(len(loads))
+	r.mean = sum / float64(len(r.heights))
 }
 
 // PlanNode implements sim.Policy.

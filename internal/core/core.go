@@ -41,6 +41,10 @@
 package core
 
 import (
+	"cmp"
+	"slices"
+	"sync"
+
 	"pplb/internal/arbiter"
 	"pplb/internal/rng"
 	"pplb/internal/sim"
@@ -112,6 +116,24 @@ func DefaultConfig() Config {
 type Balancer struct {
 	cfg     Config
 	chooser arbiter.Chooser
+
+	// scratch holds per-planning-call buffers. PlanNode may run concurrently
+	// (one goroutine per node on the engine's worker pool), so the buffers
+	// are pooled rather than stored on the balancer directly.
+	scratch sync.Pool
+}
+
+// planScratch carries the reusable buffers of one PlanNode call. Candidate
+// neighbours are tracked by their position k in Neighbors(v), so the
+// projected-height and used-link tables are small dense slices instead of
+// maps keyed by node id.
+type planScratch struct {
+	byLoad []*taskmodel.Task // tasks sorted by descending load
+	cand   []int             // feasible neighbour positions
+	scores []float64         // score per candidate (parallel to cand)
+	hn     []float64         // projected neighbour heights by position
+	used   []bool            // link already claimed this tick, by position
+	cost   []float64         // e_ij per position (fault-aware as configured)
 }
 
 // New returns a PPLB balancer with the given configuration.
@@ -123,7 +145,9 @@ func New(cfg Config) *Balancer {
 	if cfg.G <= 0 {
 		cfg.G = 1
 	}
-	return &Balancer{cfg: cfg, chooser: ch}
+	b := &Balancer{cfg: cfg, chooser: ch}
+	b.scratch.New = func() any { return new(planScratch) }
+	return b
 }
 
 // Name implements sim.Policy.
@@ -146,7 +170,7 @@ func (b *Balancer) linkCost(view *sim.View, i, j int) float64 {
 func (b *Balancer) MuS(view *sim.View, t *taskmodel.Task, v int) float64 {
 	mu := 0.0
 	if tg := view.TaskGraph(); tg != nil && b.cfg.CsT != 0 {
-		mu += b.cfg.CsT * tg.WeightToSet(t.ID, view.TaskIDSet(v))
+		mu += b.cfg.CsT * view.DepWeightToNode(t.ID, v)
 	}
 	if res := view.Resources(); res != nil && b.cfg.CsR != 0 {
 		mu += b.cfg.CsR * res.Affinity(t.ID, v)
@@ -175,6 +199,11 @@ func (b *Balancer) dampFlag(flag, destHeight float64) float64 {
 }
 
 // PlanNode implements sim.Policy: one tick of PPLB decisions for node v.
+//
+// All per-call working state lives in a pooled planScratch; candidate
+// neighbours are addressed by their position in Neighbors(v) so the inner
+// loops index dense slices (projected heights, claimed links, link costs by
+// canonical edge id) instead of hashing node ids.
 func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
 	tasks := view.Tasks(v)
 	if len(tasks) == 0 {
@@ -184,19 +213,34 @@ func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
 	if len(neighbors) == 0 {
 		return nil
 	}
+	eids := view.Graph().IncidentEdgeIDs(v)
+	links := view.Links()
+
+	sc := b.scratch.Get().(*planScratch)
+	defer b.scratch.Put(sc)
+	nn := len(neighbors)
+	sc.hn = grow(sc.hn, nn)
+	sc.cost = grow(sc.cost, nn)
+	sc.used = growBool(sc.used, nn)
+	hn := sc.hn[:nn]
+	cost := sc.cost[:nn]
+	used := sc.used[:nn]
+	for k, j := range neighbors {
+		hn[k] = view.Height(j)
+		used[k] = false
+		if b.cfg.FaultOblivious {
+			cost[k] = links.CostObliviousByEdge(eids[k])
+		} else {
+			cost[k] = links.CostByEdge(eids[k])
+		}
+	}
 
 	var moves []sim.Move
-	usedLink := make(map[int]bool, len(neighbors))
 	// Projected height of v after the departures already planned this tick.
 	hv := view.Height(v)
-	// Projected neighbour heights after arrivals planned this tick.
-	hn := make(map[int]float64, len(neighbors))
-	for _, j := range neighbors {
-		hn[j] = view.Height(j)
-	}
 	maxMoves := b.cfg.MaxMovesPerNode
 	if maxMoves <= 0 {
-		maxMoves = len(neighbors)
+		maxMoves = nn
 	}
 
 	// Pass 1: in-motion tasks (inertia continuation) — they carry momentum
@@ -210,37 +254,40 @@ func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
 				continue
 			}
 			muK := b.MuK(view, t, v)
-			var cand []int
-			var scores []float64
-			for _, j := range neighbors {
-				if usedLink[j] || view.LinkBusy(v, j) || j == t.Prev {
+			cand := sc.cand[:0]
+			scores := sc.scores[:0]
+			for k, j := range neighbors {
+				if used[k] || view.LinkBusyEdge(eids[k]) || j == t.Prev {
 					continue
 				}
-				a := t.Flag - muK*b.linkCost(view, v, j) - hn[j]
+				a := t.Flag - muK*cost[k] - hn[k]
 				if a > 0 {
-					cand = append(cand, j)
+					cand = append(cand, k)
 					scores = append(scores, a)
 				}
 			}
+			sc.cand, sc.scores = cand, scores
 			if len(cand) == 0 {
 				continue // settles: engine clears the Moving bit
 			}
 			pick := b.chooser.Choose(scores, view.Tick(), r)
-			j := cand[pick]
-			newFlag := b.dampFlag(t.Flag-muK*b.linkCost(view, v, j), hn[j])
+			k := cand[pick]
+			newFlag := b.dampFlag(t.Flag-muK*cost[k], hn[k])
+			j := neighbors[k]
 			moves = append(moves, sim.Move{
 				TaskID: t.ID, From: v, To: j,
 				NewFlag: newFlag, Moving: true,
 			})
-			usedLink[j] = true
+			used[k] = true
 			hv -= t.Load / view.Speed(v)
-			hn[j] += t.Load / view.Speed(j)
+			hn[k] += t.Load / view.Speed(j)
 		}
 	}
 
 	// Pass 2: stationary tasks, heaviest first (the highest-pressure
 	// particles are released first).
-	for _, t := range byLoadDesc(tasks) {
+	sc.byLoad = byLoadDescInto(sc.byLoad, tasks)
+	for _, t := range sc.byLoad {
 		if len(moves) >= maxMoves {
 			break
 		}
@@ -249,60 +296,73 @@ func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
 		}
 		muS := b.MuS(view, t, v)
 		muK := b.MuK(view, t, v)
-		var cand []int
-		var scores []float64
+		cand := sc.cand[:0]
+		scores := sc.scores[:0]
 		// The −2l correction generalised to heterogeneous speeds: moving
 		// load L lowers the source surface by L/s_i and raises the
 		// destination by L/s_j (both equal L on homogeneous systems).
 		srcDrop := t.Load / view.Speed(v)
-		for _, j := range neighbors {
-			if usedLink[j] || view.LinkBusy(v, j) {
+		for k, j := range neighbors {
+			if used[k] || view.LinkBusyEdge(eids[k]) {
 				continue
 			}
 			adj := srcDrop + t.Load/view.Speed(j)
 			if b.cfg.DisableTransferAdjustment {
 				adj = 0
 			}
-			e := b.linkCost(view, v, j)
-			tanBeta := (hv - hn[j] - adj) / e
+			tanBeta := (hv - hn[k] - adj) / cost[k]
 			if tanBeta > muS {
-				cand = append(cand, j)
+				cand = append(cand, k)
 				scores = append(scores, tanBeta-muS)
 			}
 		}
+		sc.cand, sc.scores = cand, scores
 		if len(cand) == 0 {
 			continue
 		}
 		pick := b.chooser.Choose(scores, view.Tick(), r)
-		j := cand[pick]
+		k := cand[pick]
 		// A new game starts: h* = h(v_i), minus the first hop's friction.
-		newFlag := b.dampFlag(hv-muK*b.linkCost(view, v, j), hn[j])
+		newFlag := b.dampFlag(hv-muK*cost[k], hn[k])
+		j := neighbors[k]
 		moves = append(moves, sim.Move{
 			TaskID: t.ID, From: v, To: j,
 			NewFlag: newFlag, Moving: !b.cfg.DisableInertia,
 		})
-		usedLink[j] = true
+		used[k] = true
 		hv -= t.Load / view.Speed(v)
-		hn[j] += t.Load / view.Speed(j)
+		hn[k] += t.Load / view.Speed(j)
 	}
 	return moves
 }
 
-// byLoadDesc returns tasks ordered by descending load, stable on id.
-func byLoadDesc(tasks []*taskmodel.Task) []*taskmodel.Task {
-	out := append([]*taskmodel.Task(nil), tasks...)
-	// Insertion sort keeps this allocation-light for the typical short
-	// queues; determinism requires the id tiebreak.
-	for i := 1; i < len(out); i++ {
-		t := out[i]
-		j := i - 1
-		for j >= 0 && (out[j].Load < t.Load || (out[j].Load == t.Load && out[j].ID > t.ID)) {
-			out[j+1] = out[j]
-			j--
-		}
-		out[j+1] = t
+// grow returns s with capacity for at least n float64s (contents undefined).
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	return out
+	return s[:n]
+}
+
+// growBool is grow for bool slices.
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// byLoadDescInto fills dst with tasks ordered by descending load, reusing
+// dst's capacity; determinism requires the id tiebreak.
+func byLoadDescInto(dst []*taskmodel.Task, tasks []*taskmodel.Task) []*taskmodel.Task {
+	dst = append(dst[:0], tasks...)
+	slices.SortFunc(dst, func(a, b *taskmodel.Task) int {
+		if a.Load != b.Load {
+			return cmp.Compare(b.Load, a.Load)
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+	return dst
 }
 
 // FeasibleStationary reports whether the paper's stationary criterion allows

@@ -482,7 +482,7 @@ func TestByLoadDescOrdering(t *testing.T) {
 		taskmodel.New(1, 5, 0, 0),
 		taskmodel.New(2, 5, 0, 0),
 	}
-	out := byLoadDesc(tasks)
+	out := byLoadDescInto(nil, tasks)
 	if out[0].ID != 1 || out[1].ID != 2 || out[2].ID != 3 {
 		t.Fatalf("order wrong: %v %v %v", out[0].ID, out[1].ID, out[2].ID)
 	}

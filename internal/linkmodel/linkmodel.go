@@ -27,11 +27,23 @@ type Params struct {
 	// Per-edge values, indexed by canonical edge index.
 	bw, d, f []float64
 	index    map[topology.Edge]int
-	// CostScale is the proportionality constant folded into Cost; CFault is
-	// the c in the (1-f)^(c·d/bw) reliability exponent.
-	CostScale float64
-	CFault    float64
+	// Derived per-edge values, precomputed at construction so the planning
+	// hot path reads a slice instead of recomputing pow/round per candidate.
+	cost, costObl, failProb []float64
+	latency                 []int
+	// costScale is the proportionality constant folded into Cost; cFault is
+	// the c in the (1-f)^(c·d/bw) reliability exponent. Unexported: Params
+	// is immutable after New, and the derived tables above snapshot these —
+	// a post-construction write would silently be ignored.
+	costScale float64
+	cFault    float64
 }
+
+// CostScale returns the proportionality constant folded into Cost.
+func (p *Params) CostScale() float64 { return p.costScale }
+
+// CFault returns the c constant of the (1-f)^(c·d/bw) reliability exponent.
+func (p *Params) CFault() float64 { return p.cFault }
 
 // Option mutates construction-time settings of Params.
 type Option func(*builder)
@@ -131,10 +143,15 @@ func New(g *topology.Graph, opts ...Option) *Params {
 		d:         make([]float64, len(edges)),
 		f:         make([]float64, len(edges)),
 		index:     make(map[topology.Edge]int, len(edges)),
-		CostScale: b.costScale,
-		CFault:    b.cFault,
+		costScale: b.costScale,
+		cFault:    b.cFault,
 	}
 	for i, e := range edges {
+		// The per-edge tables are indexed by the topology's canonical edge
+		// ids (CostByEdge and friends); assert the enumerations agree.
+		if id, ok := g.EdgeID(e.U, e.V); !ok || id != i {
+			panic(fmt.Sprintf("linkmodel: edge enumeration out of sync with topology at %v (id %d)", e, i))
+		}
 		p.index[e] = i
 		p.bw[i] = b.bw(e.U, e.V)
 		p.d[i] = b.d(e.U, e.V)
@@ -146,7 +163,30 @@ func New(g *topology.Graph, opts ...Option) *Params {
 			panic(fmt.Sprintf("linkmodel: non-positive length on edge %v", e))
 		}
 	}
+	p.precompute()
 	return p
+}
+
+// precompute derives the per-edge cost, latency and failure-probability
+// tables. Params is immutable after New, so these never go stale.
+func (p *Params) precompute() {
+	n := len(p.bw)
+	p.cost = make([]float64, n)
+	p.costObl = make([]float64, n)
+	p.failProb = make([]float64, n)
+	p.latency = make([]int, n)
+	for i := 0; i < n; i++ {
+		base := p.d[i] / p.bw[i]
+		rel := math.Pow(1-p.f[i], p.cFault*base)
+		p.cost[i] = p.costScale * base / rel
+		p.costObl[i] = p.costScale * base
+		lat := int(math.Round(base))
+		if lat < 1 {
+			lat = 1
+		}
+		p.latency[i] = lat
+		p.failProb[i] = 1 - math.Pow(1-p.f[i], float64(lat))
+	}
 }
 
 func clamp01(x float64) float64 {
@@ -193,47 +233,41 @@ func (p *Params) Fault(u, v int) float64 { return p.f[p.edgeIdx(u, v)] }
 // probability that the load does not encounter any faults during its
 // transmission", so dividing by it inflates the effective cost of flaky
 // links.
-func (p *Params) Cost(u, v int) float64 {
-	i := p.edgeIdx(u, v)
-	base := p.d[i] / p.bw[i]
-	rel := math.Pow(1-p.f[i], p.CFault*base)
-	return p.CostScale * base / rel
-}
+func (p *Params) Cost(u, v int) float64 { return p.cost[p.edgeIdx(u, v)] }
+
+// CostByEdge returns Cost for the link with the given canonical edge id
+// (see topology.Graph.IncidentEdgeIDs); no map lookup, for planning loops.
+func (p *Params) CostByEdge(id int) float64 { return p.cost[id] }
 
 // CostOblivious returns the link weight a fault-unaware balancer sees: the
 // same formula with the reliability factor dropped. The fault-awareness
 // ablation (E12) compares Cost vs CostOblivious.
-func (p *Params) CostOblivious(u, v int) float64 {
-	i := p.edgeIdx(u, v)
-	return p.CostScale * p.d[i] / p.bw[i]
-}
+func (p *Params) CostOblivious(u, v int) float64 { return p.costObl[p.edgeIdx(u, v)] }
+
+// CostObliviousByEdge returns CostOblivious by canonical edge id.
+func (p *Params) CostObliviousByEdge(id int) float64 { return p.costObl[id] }
 
 // Latency returns the integral number of ticks a transfer of one task
 // occupies the link: max(1, round(d/bw)). Fault risk does not slow a
 // transfer, it only threatens it, so latency uses the oblivious base cost.
-func (p *Params) Latency(u, v int) int {
-	i := p.edgeIdx(u, v)
-	t := int(math.Round(p.d[i] / p.bw[i]))
-	if t < 1 {
-		t = 1
-	}
-	return t
-}
+func (p *Params) Latency(u, v int) int { return p.latency[p.edgeIdx(u, v)] }
+
+// LatencyByEdge returns Latency by canonical edge id.
+func (p *Params) LatencyByEdge(id int) int { return p.latency[id] }
 
 // DeliveryFailureProb returns the probability that a transfer occupying the
 // link for Latency ticks hits at least one fault: 1-(1-f)^latency.
-func (p *Params) DeliveryFailureProb(u, v int) float64 {
-	i := p.edgeIdx(u, v)
-	lat := p.Latency(u, v)
-	return 1 - math.Pow(1-p.f[i], float64(lat))
-}
+func (p *Params) DeliveryFailureProb(u, v int) float64 { return p.failProb[p.edgeIdx(u, v)] }
+
+// DeliveryFailureProbByEdge returns DeliveryFailureProb by canonical edge id.
+func (p *Params) DeliveryFailureProbByEdge(id int) float64 { return p.failProb[id] }
 
 // MaxCost returns the largest Cost over all edges (0 for edgeless graphs).
 // Balancers use it to normalise slopes.
 func (p *Params) MaxCost() float64 {
 	m := 0.0
-	for _, e := range p.g.Edges() {
-		if c := p.Cost(e.U, e.V); c > m {
+	for _, c := range p.cost {
+		if c > m {
 			m = c
 		}
 	}

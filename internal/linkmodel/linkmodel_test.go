@@ -211,3 +211,33 @@ func BenchmarkCost(b *testing.B) {
 		_ = p.Cost(e.U, e.V)
 	}
 }
+
+func TestByEdgeAccessorsMatch(t *testing.T) {
+	g := topology.NewTorus(4, 4)
+	p := New(g,
+		WithRandomFaults(0.2, 7),
+		WithBandwidthFn(func(u, v int) float64 { return 1 + float64((u+v)%3) }),
+		WithLengthFn(func(u, v int) float64 { return 1 + float64(u%2) }),
+		WithCostScale(1.5),
+		WithFaultExponent(2),
+	)
+	for v := 0; v < g.N(); v++ {
+		ns := g.Neighbors(v)
+		ids := g.IncidentEdgeIDs(v)
+		for k, u := range ns {
+			id := ids[k]
+			if got, want := p.CostByEdge(id), p.Cost(v, u); got != want {
+				t.Fatalf("CostByEdge(%d)=%v, Cost(%d,%d)=%v", id, got, v, u, want)
+			}
+			if got, want := p.CostObliviousByEdge(id), p.CostOblivious(v, u); got != want {
+				t.Fatalf("CostObliviousByEdge mismatch on edge %d", id)
+			}
+			if got, want := p.LatencyByEdge(id), p.Latency(v, u); got != want {
+				t.Fatalf("LatencyByEdge mismatch on edge %d", id)
+			}
+			if got, want := p.DeliveryFailureProbByEdge(id), p.DeliveryFailureProb(v, u); got != want {
+				t.Fatalf("DeliveryFailureProbByEdge mismatch on edge %d", id)
+			}
+		}
+	}
+}

@@ -64,6 +64,8 @@ type Collector struct {
 	Migrations []float64 // cumulative
 	Traffic    []float64 // cumulative
 	Faults     []float64 // cumulative
+
+	scratch []float64 // reusable height-vector sample buffer
 }
 
 // NewCollector returns a collector sampling every `every` ticks.
@@ -80,7 +82,10 @@ func (c *Collector) OnTick(s *sim.State) {
 	}
 	// Heights (load/speed) rather than raw loads: on homogeneous systems
 	// they coincide; on heterogeneous ones height balance is what matters.
-	loads := s.Heights()
+	// Sampled into a reusable scratch buffer: collection must not allocate
+	// per tick, or dense sampling distorts the engine benchmarks it reports.
+	c.scratch = s.HeightsInto(c.scratch)
+	loads := c.scratch
 	cnt := s.Counters()
 	c.Ticks = append(c.Ticks, float64(s.Tick()))
 	c.CV = append(c.CV, CV(loads))

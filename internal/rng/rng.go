@@ -73,17 +73,24 @@ func (r *RNG) Uint64() uint64 {
 // unrelated streams, and repeated Split(a) calls on an untouched parent are
 // deterministic. The parent stream is not advanced.
 func (r *RNG) Split(label uint64) *RNG {
+	c := &RNG{}
+	r.SplitInto(label, c)
+	return c
+}
+
+// SplitInto derives the same child stream as Split(label) but writes it into
+// dst instead of allocating, so hot loops (one stream per node per tick) can
+// reuse a scratch generator. The parent stream is not advanced.
+func (r *RNG) SplitInto(label uint64, dst *RNG) {
 	// Mix the full parent state with the label through splitmix64.
 	x := r.s0 ^ rotl(r.s1, 13) ^ rotl(r.s2, 29) ^ rotl(r.s3, 43) ^ (label * 0x9e3779b97f4a7c15)
-	c := &RNG{}
-	c.s0 = splitmix64(&x)
-	c.s1 = splitmix64(&x)
-	c.s2 = splitmix64(&x)
-	c.s3 = splitmix64(&x)
-	if c.s0|c.s1|c.s2|c.s3 == 0 {
-		c.s0 = 1
+	dst.s0 = splitmix64(&x)
+	dst.s1 = splitmix64(&x)
+	dst.s2 = splitmix64(&x)
+	dst.s3 = splitmix64(&x)
+	if dst.s0|dst.s1|dst.s2|dst.s3 == 0 {
+		dst.s0 = 1
 	}
-	return c
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.

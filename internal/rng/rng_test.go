@@ -271,3 +271,25 @@ func BenchmarkFloat64(b *testing.B) {
 		_ = r.Float64()
 	}
 }
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	parent := New(42)
+	for label := uint64(0); label < 100; label++ {
+		want := parent.Split(label)
+		var got RNG
+		parent.SplitInto(label, &got)
+		for i := 0; i < 16; i++ {
+			if a, b := want.Uint64(), got.Uint64(); a != b {
+				t.Fatalf("label %d output %d: Split=%d SplitInto=%d", label, i, a, b)
+			}
+		}
+	}
+}
+
+func BenchmarkSplitInto(b *testing.B) {
+	parent := New(1)
+	var child RNG
+	for i := 0; i < b.N; i++ {
+		parent.SplitInto(uint64(i), &child)
+	}
+}

@@ -27,11 +27,14 @@
 package sim
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"pplb/internal/linkmodel"
 	"pplb/internal/rng"
@@ -124,11 +127,18 @@ type State struct {
 	speeds    []float64 // per-node processing speed (nil = uniform 1)
 	tick      int64
 
+	// Incremental aggregates, maintained as transfers start and resolve so
+	// the per-tick hot-path reads are O(1) instead of scans.
+	inflightTo   []float64 // load in flight towards each node
+	inflightLoad float64   // Σ load over all transfers
+
 	counters Counters
 	respTime stats.Online // response time of completed tasks
 
 	movingResident []*taskmodel.Task // tasks delivered with inertia last tick
 	nextTaskID     taskmodel.ID
+
+	view View // cached read-only face, so View() does not allocate
 }
 
 // View is the read-only face of State handed to policies and metrics hooks.
@@ -175,9 +185,18 @@ func (v *View) Heights() []float64 { return v.s.Heights() }
 // mutate tasks or the slice.
 func (v *View) Tasks(n int) []*taskmodel.Task { return v.s.queues[n].Tasks() }
 
-// TaskIDSet returns the id set of tasks resident at node n. Read-only; used
-// by the PPLB µs computation (dependencies to co-located tasks).
-func (v *View) TaskIDSet(n int) map[taskmodel.ID]bool { return v.s.queues[n].IDSet() }
+// HasTask reports whether the task with the given id is resident at node n.
+// This is the read-only membership accessor that replaced the shared-mutable
+// TaskIDSet escape hatch.
+func (v *View) HasTask(n int, id taskmodel.ID) bool { return v.s.queues[n].Has(id) }
+
+// DepWeightToNode returns the summed dependency weight from task id to the
+// tasks co-located at node n — the Σ T term of the µs computation — using
+// the dependency graph's flat adjacency and the queue's O(1) membership
+// index. Returns 0 when no dependency graph is attached.
+func (v *View) DepWeightToNode(id taskmodel.ID, n int) float64 {
+	return v.s.tgraph.WeightToQueue(id, &v.s.queues[n])
+}
 
 // LinkBusy reports whether the {u,v} link is occupied by a transfer.
 func (v *View) LinkBusy(u, w int) bool {
@@ -188,20 +207,22 @@ func (v *View) LinkBusy(u, w int) bool {
 	return v.s.linkBusy[id]
 }
 
+// LinkBusyEdge reports whether the link with the given canonical edge id is
+// occupied (see topology.Graph.IncidentEdgeIDs); no map lookup.
+func (v *View) LinkBusyEdge(id int) bool { return v.s.linkBusy[id] }
+
 // InFlightTo returns the total load currently in flight towards node n,
-// letting policies damp thundering-herd effects.
-func (v *View) InFlightTo(n int) float64 {
-	t := 0.0
-	for _, tr := range v.s.transfers {
-		if tr.To == n {
-			t += tr.Task.Load
-		}
-	}
-	return t
-}
+// letting policies damp thundering-herd effects. O(1): the engine maintains
+// the aggregate as transfers start, bounce and deliver.
+func (v *View) InFlightTo(n int) float64 { return v.s.inflightTo[n] }
 
 // Loads materialises all node loads.
 func (v *View) Loads() []float64 { return v.s.Loads() }
+
+// HeightsInto fills dst with the per-node surface heights, growing it only
+// when needed, and returns it. Policies that need the full vector every tick
+// use this with a reusable scratch buffer.
+func (v *View) HeightsInto(dst []float64) []float64 { return v.s.HeightsInto(dst) }
 
 // Loads returns the per-node resident loads.
 func (s *State) Loads() []float64 {
@@ -231,11 +252,20 @@ func (s *State) Height(n int) float64 {
 // Heights returns the per-node surface heights (equals Loads on homogeneous
 // systems).
 func (s *State) Heights() []float64 {
-	out := make([]float64, len(s.queues))
-	for i := range s.queues {
-		out[i] = s.Height(i)
+	return s.HeightsInto(make([]float64, 0, len(s.queues)))
+}
+
+// HeightsInto fills dst with the per-node surface heights (a single copy of
+// the cached per-queue totals), reusing dst's capacity.
+func (s *State) HeightsInto(dst []float64) []float64 {
+	dst = dst[:0]
+	if cap(dst) < len(s.queues) {
+		dst = make([]float64, 0, len(s.queues))
 	}
-	return out
+	for i := range s.queues {
+		dst = append(dst, s.Height(i))
+	}
+	return dst
 }
 
 // Tick returns the current tick.
@@ -257,14 +287,9 @@ func (s *State) Queue(n int) *taskmodel.Queue { return &s.queues[n] }
 // InFlight returns the number of transfers currently on links.
 func (s *State) InFlight() int { return len(s.transfers) }
 
-// InFlightLoad returns the total load currently on links.
-func (s *State) InFlightLoad() float64 {
-	t := 0.0
-	for _, tr := range s.transfers {
-		t += tr.Task.Load
-	}
-	return t
-}
+// InFlightLoad returns the total load currently on links (O(1), maintained
+// incrementally).
+func (s *State) InFlightLoad() float64 { return s.inflightLoad }
 
 // TotalLoad returns resident + in-flight load.
 func (s *State) TotalLoad() float64 {
@@ -278,8 +303,15 @@ func (s *State) TotalLoad() float64 {
 // ResponseTimes returns summary statistics of completed-task response times.
 func (s *State) ResponseTimes() *stats.Online { return &s.respTime }
 
-// View returns the read-only view of the state.
-func (s *State) View() *View { return &View{s: s} }
+// View returns the read-only view of the state. The view is cached on the
+// state (set up at construction) so per-tick calls do not allocate and are
+// safe from concurrent planning goroutines.
+func (s *State) View() *View {
+	if s.view.s == nil {
+		s.view.s = s // zero-value State constructed outside New
+	}
+	return &s.view
+}
 
 // Config assembles an engine.
 type Config struct {
@@ -321,6 +353,74 @@ type Engine struct {
 	arrivalRNG *rng.RNG
 
 	planBuf [][]Move
+	planRNG rng.RNG // scratch stream for sequential planning
+
+	// Persistent planning pool (Workers > 1), created once in New and reused
+	// every tick; planNext/planWG are the per-tick fan-out state. The engine
+	// must hold no reference to itself (no stored self-closures): an object
+	// in a reference cycle never gets its finalizer run, and the pool relies
+	// on the finalizer to shut down when the engine is dropped un-Closed.
+	pool     *planPool
+	planNext atomic.Int64
+	planWG   sync.WaitGroup
+
+	moved   map[taskmodel.ID]bool // reused across ticks by apply
+	trFree  []*Transfer           // freelist of delivered Transfer shells
+	closing sync.Once
+}
+
+// planJob is one tick's fan-out handed to the persistent workers. The
+// engine strips the job's engine references (run/next/wg) once the tick's
+// planning completes, so the shell a blocked worker retains between ticks
+// keeps nothing alive and an idle Engine stays reclaimable by the collector
+// (its finalizer then shuts the pool down).
+type planJob struct {
+	n    int
+	next *atomic.Int64
+	wg   *sync.WaitGroup
+	run  func(v int, r *rng.RNG)
+}
+
+// planPool is a fixed set of goroutines executing planJobs. Each worker owns
+// a scratch RNG; work is claimed by atomic counter so the assignment of
+// nodes to workers is irrelevant to the (deterministic) result.
+type planPool struct {
+	jobs    chan *planJob
+	workers int
+}
+
+func newPlanPool(workers int) *planPool {
+	p := &planPool{jobs: make(chan *planJob), workers: workers}
+	for i := 0; i < workers; i++ {
+		go func() {
+			var r rng.RNG
+			for j := range p.jobs {
+				for {
+					v := int(j.next.Add(1)) - 1
+					if v >= j.n {
+						break
+					}
+					j.run(v, &r)
+				}
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *planPool) close() { close(p.jobs) }
+
+// Close releases the engine's planning goroutines. It is safe to call more
+// than once; the engine must not be stepped afterwards. Engines are also
+// finalised automatically, so Close is an optimisation for tight loops that
+// build many parallel engines, not an obligation.
+func (e *Engine) Close() {
+	e.closing.Do(func() {
+		if e.pool != nil {
+			e.pool.close()
+		}
+	})
 }
 
 // New validates the configuration and builds an engine with the initial
@@ -355,14 +455,16 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	s := &State{
-		g:        cfg.Graph,
-		links:    cfg.Links,
-		tgraph:   cfg.TaskGraph,
-		res:      cfg.Resources,
-		queues:   make([]taskmodel.Queue, cfg.Graph.N()),
-		linkBusy: make([]bool, cfg.Graph.NumEdges()),
-		speeds:   cfg.Speeds,
+		g:          cfg.Graph,
+		links:      cfg.Links,
+		tgraph:     cfg.TaskGraph,
+		res:        cfg.Resources,
+		queues:     make([]taskmodel.Queue, cfg.Graph.N()),
+		linkBusy:   make([]bool, cfg.Graph.NumEdges()),
+		inflightTo: make([]float64, cfg.Graph.N()),
+		speeds:     cfg.Speeds,
 	}
+	s.view.s = s
 	base := rng.New(cfg.Seed)
 	e := &Engine{
 		cfg:        cfg,
@@ -371,6 +473,14 @@ func New(cfg Config) (*Engine, error) {
 		faultRNG:   base.Split(2),
 		arrivalRNG: base.Split(3),
 		planBuf:    make([][]Move, cfg.Graph.N()),
+		moved:      make(map[taskmodel.ID]bool),
+	}
+	if cfg.Workers > 1 {
+		e.pool = newPlanPool(cfg.Workers)
+		// Reclaim the pool goroutines when the engine is dropped without an
+		// explicit Close. Workers hold no reference to the engine between
+		// ticks, so an unreachable engine really is finalisable.
+		runtime.SetFinalizer(e, (*Engine).Close)
 	}
 	for v, sizes := range cfg.Initial {
 		for _, load := range sizes {
@@ -429,11 +539,10 @@ func (e *Engine) Step() {
 	}
 
 	// 2. Planning.
-	view := s.View()
 	if p, ok := e.cfg.Policy.(TickPreparer); ok {
-		p.PrepareTick(view)
+		p.PrepareTick(s.View())
 	}
-	e.plan(view)
+	e.plan()
 
 	// 3. Validation + application in canonical node order.
 	moved := e.apply()
@@ -477,45 +586,67 @@ func (e *Engine) Step() {
 	}
 }
 
-// plan fills planBuf with each node's proposed moves, sequentially or on a
-// worker pool.
-func (e *Engine) plan(view *View) {
+// planOne derives node v's deterministic stream and collects its proposals.
+func (e *Engine) planOne(v int, r *rng.RNG) {
 	s := e.state
-	n := s.g.N()
-	tickLabel := uint64(s.tick) * uint64(n)
-	planOne := func(v int) {
-		r := e.planBase.Split(tickLabel + uint64(v))
-		e.planBuf[v] = e.cfg.Policy.PlanNode(v, view, r)
-	}
-	if e.cfg.Workers <= 1 {
+	e.planBase.SplitInto(uint64(s.tick)*uint64(s.g.N())+uint64(v), r)
+	e.planBuf[v] = e.cfg.Policy.PlanNode(v, s.View(), r)
+}
+
+// plan fills planBuf with each node's proposed moves, sequentially or on the
+// persistent worker pool.
+func (e *Engine) plan() {
+	n := e.state.g.N()
+	if e.pool == nil {
 		for v := 0; v < n; v++ {
-			planOne(v)
+			e.planOne(v, &e.planRNG)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < e.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for v := range work {
-				planOne(v)
-			}
-		}()
+	e.planNext.Store(0)
+	e.planWG.Add(e.pool.workers)
+	// The closure is rebuilt per tick rather than cached on the engine: it
+	// has to escape into the job anyway, and caching it would create the
+	// self-cycle that disables the engine's finalizer.
+	j := &planJob{n: n, next: &e.planNext, wg: &e.planWG, run: e.planOne}
+	for i := 0; i < e.pool.workers; i++ {
+		e.pool.jobs <- j
 	}
-	for v := 0; v < n; v++ {
-		work <- v
+	e.planWG.Wait()
+	// Every worker is past its last touch of j (Done happens-before Wait
+	// returning); break the job's references to this engine so blocked
+	// workers retain only an inert shell.
+	j.next, j.wg, j.run = nil, nil, nil
+}
+
+// sortMovesByTask orders moves ascending by task id, stable (unlike the old
+// sort.SliceStable call, slices.SortStableFunc allocates no reflection
+// swapper).
+func sortMovesByTask(moves []Move) {
+	slices.SortStableFunc(moves, func(a, b Move) int {
+		return cmp.Compare(a.TaskID, b.TaskID)
+	})
+}
+
+// newTransfer takes a shell from the freelist or allocates one.
+func (e *Engine) newTransfer(t *taskmodel.Task, from, to, remaining int, moving bool) *Transfer {
+	if n := len(e.trFree); n > 0 {
+		tr := e.trFree[n-1]
+		e.trFree[n-1] = nil
+		e.trFree = e.trFree[:n-1]
+		*tr = Transfer{Task: t, From: from, To: to, Remaining: remaining, moving: moving}
+		return tr
 	}
-	close(work)
-	wg.Wait()
+	return &Transfer{Task: t, From: from, To: to, Remaining: remaining, moving: moving}
 }
 
 // apply validates and applies the planned moves in canonical order,
-// returning the set of task ids that departed.
+// returning the set of task ids that departed. The returned map is reused
+// across ticks; it is valid until the next apply call.
 func (e *Engine) apply() map[taskmodel.ID]bool {
 	s := e.state
-	moved := make(map[taskmodel.ID]bool)
+	moved := e.moved
+	clear(moved)
 	for v := 0; v < s.g.N(); v++ {
 		moves := e.planBuf[v]
 		e.planBuf[v] = nil
@@ -523,7 +654,7 @@ func (e *Engine) apply() map[taskmodel.ID]bool {
 			continue
 		}
 		// Canonical intra-node order for determinism.
-		sort.SliceStable(moves, func(i, j int) bool { return moves[i].TaskID < moves[j].TaskID })
+		sortMovesByTask(moves)
 		for _, m := range moves {
 			if !e.validate(v, m, moved) {
 				s.counters.Rejected++
@@ -539,11 +670,9 @@ func (e *Engine) apply() map[taskmodel.ID]bool {
 			}
 			id, _ := s.g.EdgeID(m.From, m.To)
 			s.linkBusy[id] = true
-			s.transfers = append(s.transfers, &Transfer{
-				Task: t, From: m.From, To: m.To,
-				Remaining: s.links.Latency(m.From, m.To),
-				moving:    m.Moving,
-			})
+			s.transfers = append(s.transfers, e.newTransfer(t, m.From, m.To, s.links.LatencyByEdge(id), m.Moving))
+			s.inflightTo[m.To] += t.Load
+			s.inflightLoad += t.Load
 			moved[m.TaskID] = true
 		}
 	}
@@ -574,9 +703,11 @@ func (e *Engine) validate(proposer int, m Move, moved map[taskmodel.ID]bool) boo
 	return true
 }
 
-// advanceTransfers decrements remaining latencies and resolves arrivals.
+// advanceTransfers decrements remaining latencies and resolves arrivals,
+// keeping the in-flight aggregates in sync.
 func (e *Engine) advanceTransfers() {
 	s := e.state
+	hadTransfers := len(s.transfers) > 0
 	keep := s.transfers[:0]
 	for _, tr := range s.transfers {
 		tr.Remaining--
@@ -585,18 +716,20 @@ func (e *Engine) advanceTransfers() {
 			continue
 		}
 		id, _ := s.g.EdgeID(tr.From, tr.To)
-		cost := s.links.Cost(tr.From, tr.To)
-		if !tr.Bounce && e.faultRNG.Bernoulli(s.links.DeliveryFailureProb(tr.From, tr.To)) {
+		cost := s.links.CostByEdge(id)
+		if !tr.Bounce && e.faultRNG.Bernoulli(s.links.DeliveryFailureProbByEdge(id)) {
 			// Link fault: the task bounces back to the sender, occupying the
 			// link again for the return trip. The wasted effort is booked as
 			// bounced traffic. Bounce legs are not themselves faultable (the
 			// retreat is local recovery, not a fresh transmission).
 			s.counters.Faults++
 			s.counters.BouncedTraffic += tr.Task.Load * cost
+			s.inflightTo[tr.To] -= tr.Task.Load
 			tr.From, tr.To = tr.To, tr.From
-			tr.Remaining = s.links.Latency(tr.From, tr.To)
+			tr.Remaining = s.links.LatencyByEdge(id)
 			tr.Bounce = true
 			tr.moving = false
+			s.inflightTo[tr.To] += tr.Task.Load
 			keep = append(keep, tr)
 			continue
 		}
@@ -604,6 +737,8 @@ func (e *Engine) advanceTransfers() {
 		s.linkBusy[id] = false
 		t := tr.Task
 		s.queues[tr.To].Add(t)
+		s.inflightTo[tr.To] -= t.Load
+		s.inflightLoad -= t.Load
 		if tr.Bounce {
 			t.Moving = false
 		} else {
@@ -617,10 +752,32 @@ func (e *Engine) advanceTransfers() {
 				s.movingResident = append(s.movingResident, t)
 			}
 		}
+		tr.Task = nil // do not pin the delivered task from the freelist
+		e.trFree = append(e.trFree, tr)
 	}
 	// Zero the tail so dropped transfers are collectable.
 	for i := len(keep); i < len(s.transfers); i++ {
 		s.transfers[i] = nil
 	}
 	s.transfers = keep
+	if hadTransfers && len(s.transfers) == 0 {
+		// Quiescent network: reset the aggregates so incremental float
+		// arithmetic cannot leave residual drift behind.
+		s.inflightLoad = 0
+		for i := range s.inflightTo {
+			s.inflightTo[i] = 0
+		}
+	} else if s.tick&0x1fff == 0 {
+		// Runs that never quiesce would otherwise accumulate rounding
+		// residue in the incremental aggregates forever; rebuild them
+		// exactly from the live transfers at a low fixed cadence.
+		s.inflightLoad = 0
+		for i := range s.inflightTo {
+			s.inflightTo[i] = 0
+		}
+		for _, tr := range s.transfers {
+			s.inflightTo[tr.To] += tr.Task.Load
+			s.inflightLoad += tr.Task.Load
+		}
+	}
 }

@@ -15,6 +15,8 @@ package taskmodel
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ID identifies a task for the lifetime of a run.
@@ -64,8 +66,27 @@ func (t *Task) String() string {
 // Graph is the task-dependency graph T: Weight(a,b) is the communication
 // demand between tasks a and b. The zero value (or nil pointer) is an empty
 // graph, which every accessor treats as "no dependencies".
+//
+// Internally the graph keeps two representations: a map-of-maps edit view
+// that SetDep mutates, and a flat CSR-style adjacency (sorted rows of
+// neighbour ids and weights plus per-row weight sums) that read accessors
+// use. The flat form is rebuilt lazily on the first read after a mutation;
+// reads on a clean graph touch only immutable slices, so concurrent readers
+// (the parallel planning fan-out) are safe as long as nobody mutates the
+// graph mid-tick. Summation order over a row is ascending id, which also
+// makes µs float arithmetic independent of map iteration order.
 type Graph struct {
-	w map[ID]map[ID]float64
+	w     map[ID]map[ID]float64
+	dirty atomic.Bool
+	mu    sync.Mutex // serialises rebuilds
+
+	// CSR adjacency, valid while !dirty.
+	rowOf    map[ID]int32
+	rowStart []int32
+	cols     []ID
+	wts      []float64
+	rowSum   []float64
+	numDeps  int
 }
 
 // NewGraph returns an empty dependency graph.
@@ -73,6 +94,8 @@ func NewGraph() *Graph { return &Graph{w: make(map[ID]map[ID]float64)} }
 
 // SetDep records a symmetric dependency of the given weight between a and b.
 // Setting weight 0 removes the dependency. Self-dependencies are ignored.
+// Not safe for use concurrently with readers (build the graph before the
+// simulation starts, or between ticks).
 func (g *Graph) SetDep(a, b ID, weight float64) {
 	if a == b || g == nil {
 		return
@@ -99,6 +122,62 @@ func (g *Graph) SetDep(a, b ID, weight float64) {
 	}
 	set(a, b)
 	set(b, a)
+	g.dirty.Store(true)
+}
+
+// ensure rebuilds the flat adjacency if mutations are pending.
+func (g *Graph) ensure() {
+	if !g.dirty.Load() {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.dirty.Load() {
+		return
+	}
+	ids := make([]ID, 0, len(g.w))
+	total := 0
+	for a, m := range g.w {
+		ids = append(ids, a)
+		total += len(m)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	g.rowOf = make(map[ID]int32, len(ids))
+	g.rowStart = make([]int32, len(ids)+1)
+	g.cols = make([]ID, 0, total)
+	g.wts = make([]float64, 0, total)
+	g.rowSum = make([]float64, len(ids))
+	for r, a := range ids {
+		g.rowOf[a] = int32(r)
+		row := g.w[a]
+		start := len(g.cols)
+		for b := range row {
+			g.cols = append(g.cols, b)
+		}
+		seg := g.cols[start:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		sum := 0.0
+		for _, b := range seg {
+			w := row[b]
+			g.wts = append(g.wts, w)
+			sum += w
+		}
+		g.rowSum[r] = sum
+		g.rowStart[r+1] = int32(len(g.cols))
+	}
+	g.numDeps = total / 2
+	g.dirty.Store(false)
+}
+
+// row returns the CSR row of a as parallel id/weight slices (nil when a has
+// no dependencies).
+func (g *Graph) row(a ID) ([]ID, []float64) {
+	r, ok := g.rowOf[a]
+	if !ok {
+		return nil, nil
+	}
+	lo, hi := g.rowStart[r], g.rowStart[r+1]
+	return g.cols[lo:hi], g.wts[lo:hi]
 }
 
 // Weight returns the dependency weight between a and b (0 when absent).
@@ -106,7 +185,13 @@ func (g *Graph) Weight(a, b ID) float64 {
 	if g == nil || g.w == nil {
 		return 0
 	}
-	return g.w[a][b]
+	g.ensure()
+	cols, wts := g.row(a)
+	i := sort.Search(len(cols), func(k int) bool { return cols[k] >= b })
+	if i < len(cols) && cols[i] == b {
+		return wts[i]
+	}
+	return 0
 }
 
 // Deps returns the ids that task a depends on, in ascending order.
@@ -114,16 +199,12 @@ func (g *Graph) Deps(a ID) []ID {
 	if g == nil || g.w == nil {
 		return nil
 	}
-	m := g.w[a]
-	if len(m) == 0 {
+	g.ensure()
+	cols, _ := g.row(a)
+	if len(cols) == 0 {
 		return nil
 	}
-	out := make([]ID, 0, len(m))
-	for b := range m {
-		out = append(out, b)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]ID(nil), cols...)
 }
 
 // TotalWeight returns the sum of dependency weights incident to a — the
@@ -132,11 +213,12 @@ func (g *Graph) TotalWeight(a ID) float64 {
 	if g == nil || g.w == nil {
 		return 0
 	}
-	s := 0.0
-	for _, w := range g.w[a] {
-		s += w
+	g.ensure()
+	r, ok := g.rowOf[a]
+	if !ok {
+		return 0
 	}
-	return s
+	return g.rowSum[r]
 }
 
 // WeightToSet returns the summed dependency weight from a to tasks in the
@@ -146,10 +228,30 @@ func (g *Graph) WeightToSet(a ID, set map[ID]bool) float64 {
 	if g == nil || g.w == nil {
 		return 0
 	}
+	g.ensure()
+	cols, wts := g.row(a)
 	s := 0.0
-	for b, w := range g.w[a] {
+	for i, b := range cols {
 		if set[b] {
-			s += w
+			s += wts[i]
+		}
+	}
+	return s
+}
+
+// WeightToQueue returns the summed dependency weight from a to tasks
+// resident in q — WeightToSet with the queue's O(1) membership index instead
+// of a caller-built map. This is the µs hot path.
+func (g *Graph) WeightToQueue(a ID, q *Queue) float64 {
+	if g == nil || g.w == nil || q == nil || q.Len() == 0 {
+		return 0
+	}
+	g.ensure()
+	cols, wts := g.row(a)
+	s := 0.0
+	for i, b := range cols {
+		if q.Has(b) {
+			s += wts[i]
 		}
 	}
 	return s
@@ -160,15 +262,8 @@ func (g *Graph) NumDeps() int {
 	if g == nil || g.w == nil {
 		return 0
 	}
-	n := 0
-	for a, m := range g.w {
-		for b := range m {
-			if a < b {
-				n++
-			}
-		}
-	}
-	return n
+	g.ensure()
+	return g.numDeps
 }
 
 // Resources is the R matrix of §4.2: Affinity(task, node) expresses how much
@@ -216,67 +311,99 @@ func (r *Resources) Affinity(t ID, v int) float64 {
 }
 
 // Queue is the multiset of tasks resident on one node, with the cached total
-// load h(v) = Σ l_{v,k} of §4.2. The zero value is an empty queue.
+// load h(v) = Σ l_{v,k} of §4.2 and an id→slot index so membership tests and
+// removals need no scan. The zero value is an empty queue.
+//
+// Layout: resident tasks live in buf[head:] in insertion order. Service
+// consumption pops from the front by advancing head (no shifting); the
+// vacated prefix is compacted away once it dominates the buffer. slot maps
+// each resident id to its absolute index in buf.
 type Queue struct {
-	tasks []*Task
+	buf   []*Task
+	head  int
 	total float64
-	ids   map[ID]bool
+	slot  map[ID]int
 }
 
 // Add inserts a task.
 func (q *Queue) Add(t *Task) {
-	q.tasks = append(q.tasks, t)
+	q.buf = append(q.buf, t)
 	q.total += t.Load
-	if q.ids == nil {
-		q.ids = make(map[ID]bool)
+	if q.slot == nil {
+		q.slot = make(map[ID]int)
 	}
-	q.ids[t.ID] = true
+	q.slot[t.ID] = len(q.buf) - 1
 }
 
 // Remove deletes the task with the given id and returns it, or nil when
-// absent. Order of remaining tasks is preserved.
+// absent. Order of remaining tasks is preserved: the index locates the slot
+// directly and only the tail after it shifts.
 func (q *Queue) Remove(id ID) *Task {
-	for i, t := range q.tasks {
-		if t.ID == id {
-			copy(q.tasks[i:], q.tasks[i+1:])
-			q.tasks[len(q.tasks)-1] = nil
-			q.tasks = q.tasks[:len(q.tasks)-1]
-			q.total -= t.Load
-			delete(q.ids, id)
-			return t
-		}
+	i, ok := q.slot[id]
+	if !ok {
+		return nil
 	}
-	return nil
+	t := q.buf[i]
+	copy(q.buf[i:], q.buf[i+1:])
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+	for j := i; j < len(q.buf); j++ {
+		q.slot[q.buf[j].ID] = j
+	}
+	delete(q.slot, id)
+	q.total -= t.Load
+	q.clampDrift()
+	return t
 }
 
-// Has reports whether the task with the given id is resident.
-func (q *Queue) Has(id ID) bool { return q.ids[id] }
-
-// Len returns the number of resident tasks.
-func (q *Queue) Len() int { return len(q.tasks) }
-
-// Total returns h(v): the summed load of resident tasks.
-func (q *Queue) Total() float64 {
-	// Guard against drift from repeated float adds/removes.
+// clampDrift zeroes sub-nanoscale negative totals left by repeated float
+// adds/removes. Called from mutating operations only, so read paths stay
+// write-free and safe for the concurrent planning fan-out.
+func (q *Queue) clampDrift() {
 	if q.total < 0 && q.total > -1e-9 {
 		q.total = 0
 	}
-	return q.total
 }
+
+// Has reports whether the task with the given id is resident (O(1)).
+func (q *Queue) Has(id ID) bool {
+	_, ok := q.slot[id]
+	return ok
+}
+
+// Len returns the number of resident tasks.
+func (q *Queue) Len() int { return len(q.buf) - q.head }
+
+// Total returns h(v): the summed load of resident tasks. A pure read:
+// planning goroutines call it concurrently, so the drift guard lives in the
+// mutating operations instead.
+func (q *Queue) Total() float64 { return q.total }
 
 // Tasks returns the resident tasks in insertion order. The slice is shared;
 // callers must not modify it.
-func (q *Queue) Tasks() []*Task { return q.tasks }
+func (q *Queue) Tasks() []*Task { return q.buf[q.head:] }
 
-// IDSet returns the set of resident ids. The map is shared; callers must not
-// modify it.
-func (q *Queue) IDSet() map[ID]bool { return q.ids }
+// compact drops the consumed prefix so buf does not grow without bound.
+func (q *Queue) compact() {
+	if q.head == 0 {
+		return
+	}
+	n := copy(q.buf, q.buf[q.head:])
+	for i := n; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:n]
+	for j := 0; j < n; j++ {
+		q.slot[q.buf[j].ID] = j
+	}
+	q.head = 0
+}
 
 // ByLoadDesc returns resident tasks sorted by descending load (stable on id
 // for determinism). The paper moves the "choicest" object first; experiments
 // and the PPLB core use largest-first order.
 func (q *Queue) ByLoadDesc() []*Task {
-	out := append([]*Task(nil), q.tasks...)
+	out := append([]*Task(nil), q.Tasks()...)
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Load != out[j].Load {
 			return out[i].Load > out[j].Load
@@ -292,24 +419,30 @@ func (q *Queue) ByLoadDesc() []*Task {
 // remaining load in place. This models node service capacity in the
 // non-quiescent experiments.
 func (q *Queue) ConsumeService(amount float64, now int64) (done []*Task, consumed float64) {
-	for amount > 0 && len(q.tasks) > 0 {
-		t := q.tasks[0]
+	for amount > 0 && q.head < len(q.buf) {
+		t := q.buf[q.head]
 		if t.Load <= amount {
 			amount -= t.Load
 			consumed += t.Load
 			q.total -= t.Load
 			t.Done = now
 			done = append(done, t)
-			copy(q.tasks, q.tasks[1:])
-			q.tasks[len(q.tasks)-1] = nil
-			q.tasks = q.tasks[:len(q.tasks)-1]
-			delete(q.ids, t.ID)
+			q.buf[q.head] = nil
+			q.head++
+			delete(q.slot, t.ID)
 		} else {
 			t.Load -= amount
 			q.total -= amount
 			consumed += amount
 			amount = 0
 		}
+	}
+	q.clampDrift()
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 16 && q.head*2 >= len(q.buf) {
+		q.compact()
 	}
 	return done, consumed
 }

@@ -243,3 +243,106 @@ func BenchmarkQueueAddRemove(b *testing.B) {
 		}
 	}
 }
+
+func TestWeightToQueueMatchesWeightToSet(t *testing.T) {
+	g := NewGraph()
+	g.SetDep(1, 2, 2)
+	g.SetDep(1, 3, 3)
+	g.SetDep(1, 4, 5)
+	g.SetDep(2, 3, 7)
+	var q Queue
+	q.Add(New(2, 1, 0, 0))
+	q.Add(New(4, 1, 0, 0))
+	set := map[ID]bool{2: true, 4: true}
+	for _, id := range []ID{1, 2, 3, 99} {
+		if got, want := g.WeightToQueue(id, &q), g.WeightToSet(id, set); got != want {
+			t.Fatalf("task %d: WeightToQueue=%v WeightToSet=%v", id, got, want)
+		}
+	}
+	if got := g.WeightToQueue(1, nil); got != 0 {
+		t.Fatalf("nil queue: got %v", got)
+	}
+	if got := (*Graph)(nil).WeightToQueue(1, &q); got != 0 {
+		t.Fatalf("nil graph: got %v", got)
+	}
+}
+
+func TestGraphLazyRebuildAfterMutation(t *testing.T) {
+	g := NewGraph()
+	g.SetDep(1, 2, 2)
+	if w := g.TotalWeight(1); w != 2 {
+		t.Fatalf("TotalWeight = %v, want 2", w)
+	}
+	// Mutate after a read: the flat adjacency must refresh.
+	g.SetDep(1, 3, 5)
+	if w := g.TotalWeight(1); w != 7 {
+		t.Fatalf("TotalWeight after mutation = %v, want 7", w)
+	}
+	g.SetDep(1, 2, 0)
+	if w := g.TotalWeight(1); w != 5 {
+		t.Fatalf("TotalWeight after removal = %v, want 5", w)
+	}
+	if n := g.NumDeps(); n != 1 {
+		t.Fatalf("NumDeps = %d, want 1", n)
+	}
+}
+
+// Interleaved Add/Remove/ConsumeService must preserve FIFO order and keep the
+// id index, total and Len consistent — this exercises the head-offset layout.
+func TestQueueInterleavedOps(t *testing.T) {
+	var q Queue
+	for i := 0; i < 40; i++ {
+		q.Add(New(ID(i), 1, 0, 0))
+	}
+	// Consume a long prefix one task at a time to advance head far enough to
+	// trigger compaction.
+	for i := 0; i < 25; i++ {
+		done, consumed := q.ConsumeService(1, 0)
+		if len(done) != 1 || done[0].ID != ID(i) || consumed != 1 {
+			t.Fatalf("consume %d: done=%v consumed=%v", i, done, consumed)
+		}
+	}
+	if q.Len() != 15 {
+		t.Fatalf("Len = %d, want 15", q.Len())
+	}
+	// Remove from the middle of the surviving window.
+	if got := q.Remove(30); got == nil || got.ID != 30 {
+		t.Fatalf("Remove(30) = %v", got)
+	}
+	if q.Has(30) {
+		t.Fatal("removed id still reported resident")
+	}
+	// FIFO order intact, index consistent.
+	want := []ID{25, 26, 27, 28, 29, 31, 32, 33, 34, 35, 36, 37, 38, 39}
+	tasks := q.Tasks()
+	if len(tasks) != len(want) {
+		t.Fatalf("Len = %d, want %d", len(tasks), len(want))
+	}
+	for i, id := range want {
+		if tasks[i].ID != id {
+			t.Fatalf("slot %d: got id %d, want %d", i, tasks[i].ID, id)
+		}
+		if !q.Has(id) {
+			t.Fatalf("Has(%d) = false for resident task", id)
+		}
+	}
+	// Remove/re-add every task: the index must stay consistent throughout.
+	for _, id := range want {
+		if got := q.Remove(id); got == nil || got.ID != id {
+			t.Fatalf("Remove(%d) = %v", id, got)
+		}
+		if q.Has(id) {
+			t.Fatalf("Has(%d) = true after removal", id)
+		}
+		q.Add(New(id, 1, 0, 0))
+		if !q.Has(id) {
+			t.Fatalf("Has(%d) = false after re-add", id)
+		}
+	}
+	if q.Total() != float64(len(want)) {
+		t.Fatalf("Total = %v, want %v", q.Total(), len(want))
+	}
+	if q.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(want))
+	}
+}

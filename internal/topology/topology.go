@@ -34,6 +34,7 @@ type Edge struct {
 type Graph struct {
 	name    string
 	adj     [][]int
+	adjEdge [][]int // adjEdge[v][k] = EdgeID(v, adj[v][k])
 	coords  []Point2
 	edges   []Edge
 	edgeIdx map[Edge]int
@@ -64,6 +65,14 @@ func build(name string, n int, adjSet []map[int]bool, coords []Point2) *Graph {
 	g.edgeIdx = make(map[Edge]int, len(g.edges))
 	for i, e := range g.edges {
 		g.edgeIdx[e] = i
+	}
+	g.adjEdge = make([][]int, n)
+	for v := 0; v < n; v++ {
+		g.adjEdge[v] = make([]int, len(g.adj[v]))
+		for k, u := range g.adj[v] {
+			id, _ := g.EdgeID(v, u)
+			g.adjEdge[v][k] = id
+		}
 	}
 	if g.coords == nil {
 		g.coords = circleLayout(n)
@@ -130,6 +139,12 @@ func (g *Graph) MaxDegree() int {
 // Neighbors returns the sorted neighbour list of v. The slice is shared;
 // callers must not modify it.
 func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// IncidentEdgeIDs returns the canonical edge ids of v's links, aligned with
+// Neighbors(v): IncidentEdgeIDs(v)[k] is the edge id of {v, Neighbors(v)[k]}.
+// Hot paths use it to index per-edge state (costs, busy flags) without a map
+// lookup. The slice is shared; callers must not modify it.
+func (g *Graph) IncidentEdgeIDs(v int) []int { return g.adjEdge[v] }
 
 // HasEdge reports whether u and v are adjacent.
 func (g *Graph) HasEdge(u, v int) bool {

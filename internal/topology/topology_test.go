@@ -393,3 +393,22 @@ func BenchmarkEdgeColoring(b *testing.B) {
 		_ = g.EdgeColoring()
 	}
 }
+
+func TestIncidentEdgeIDsAligned(t *testing.T) {
+	for _, g := range []*Graph{NewTorus(4, 4), NewMesh(3, 5), NewHypercube(4), NewStar(7), NewCCC(3)} {
+		for v := 0; v < g.N(); v++ {
+			ns := g.Neighbors(v)
+			ids := g.IncidentEdgeIDs(v)
+			if len(ns) != len(ids) {
+				t.Fatalf("%s node %d: %d neighbors but %d incident edge ids", g.Name(), v, len(ns), len(ids))
+			}
+			for k, u := range ns {
+				want, ok := g.EdgeID(v, u)
+				if !ok || ids[k] != want {
+					t.Fatalf("%s edge {%d,%d}: IncidentEdgeIDs gives %d, EdgeID gives %d (ok=%v)",
+						g.Name(), v, u, ids[k], want, ok)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package pplb
+
+import (
+	"math"
+	"testing"
+)
+
+// Load-conservation invariant: at every tick, everything ever injected is
+// accounted for — resident on some node, in flight on some link, or consumed
+// by service. The engine's incremental aggregates (cached queue totals,
+// in-flight load) must agree with that ledger exactly, for every policy and
+// topology, including runs with faults, arrivals and service.
+func TestLoadConservationInvariant(t *testing.T) {
+	topologies := []struct {
+		name string
+		g    *Graph
+	}{
+		{"mesh4x4", Mesh(4, 4)},
+		{"torus4x4", Torus(4, 4)},
+		{"hypercube4", Hypercube(4)},
+	}
+	policies := []struct {
+		name string
+		mk   func(g *Graph) Policy
+	}{
+		{"pplb", func(*Graph) Policy { return NewBalancer(DefaultBalancerConfig()) }},
+		{"diffusion", func(*Graph) Policy { return DiffusionPolicy(0) }},
+		{"dimexchange", func(g *Graph) Policy { return DimensionExchangePolicy(g) }},
+		{"gm", func(*Graph) Policy { return GradientModelPolicy() }},
+		{"cwn", func(*Graph) Policy { return CWNPolicy(0) }},
+		{"random", func(*Graph) Policy { return RandomSenderPolicy() }},
+		{"none", func(*Graph) Policy { return NoPolicy() }},
+	}
+	for _, tc := range topologies {
+		for _, pc := range policies {
+			t.Run(tc.name+"/"+pc.name, func(t *testing.T) {
+				g := tc.g
+				worst := 0.0
+				sys, err := NewSystem(g, pc.mk(g),
+					WithInitial(MultiHotspotLoad(g.N(), 3, 24, 0.75)),
+					WithArrivals(PoissonArrivals(0.05, 0.5, g.N())),
+					WithServiceRate(0.1),
+					WithLinks(Links(g, WithUniformFault(0.02))),
+					WithSeed(99),
+					WithObserver(func(s *State) {
+						c := s.Counters()
+						resident := 0.0
+						for v := 0; v < g.N(); v++ {
+							resident += s.Queue(v).Total()
+						}
+						ledger := resident + s.InFlightLoad() + c.Consumed
+						if d := math.Abs(ledger - c.Injected); d > worst {
+							worst = d
+						}
+					}),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.Run(300)
+				if worst > 1e-6 {
+					t.Fatalf("load leak: worst |resident+inflight+consumed - injected| = %g", worst)
+				}
+			})
+		}
+	}
+}
+
+// The parallel planner must be bit-identical to the sequential one: same
+// loads, same counters, tick for tick, over a long dynamic run.
+func TestWorkersBitIdentity500Ticks(t *testing.T) {
+	run := func(workers int) ([]float64, Counters) {
+		g := Torus(8, 8)
+		sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+			WithInitial(HotspotLoad(g.N(), 0, 128, 0.5)),
+			WithArrivals(PoissonArrivals(0.02, 0.5, g.N())),
+			WithServiceRate(0.05),
+			WithSeed(2024),
+			WithWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Run(500)
+		return sys.Loads(), sys.Counters()
+	}
+	seqLoads, seqC := run(1)
+	parLoads, parC := run(8)
+	if seqC != parC {
+		t.Fatalf("counters diverge:\nseq: %+v\npar: %+v", seqC, parC)
+	}
+	for v := range seqLoads {
+		if seqLoads[v] != parLoads[v] {
+			t.Fatalf("load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+		}
+	}
+}
+
+// InFlightTo is maintained incrementally; cross-check it against a direct
+// scan reconstruction from conservation: what left a node and has not
+// arrived anywhere must equal the total in-flight load.
+func TestInFlightAggregatesConsistent(t *testing.T) {
+	g := Torus(4, 4)
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+		WithInitial(HotspotLoad(g.N(), 0, 64, 0.5)),
+		WithLinks(Links(g, WithUniformLength(2))), // latency 2: transfers linger
+		WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sys.Step()
+		s := sys.State()
+		view := s.View()
+		sum := 0.0
+		for v := 0; v < g.N(); v++ {
+			sum += view.InFlightTo(v)
+		}
+		if d := math.Abs(sum - s.InFlightLoad()); d > 1e-9 {
+			t.Fatalf("tick %d: Σ InFlightTo = %v, InFlightLoad = %v", i, sum, s.InFlightLoad())
+		}
+		if s.InFlight() == 0 && s.InFlightLoad() != 0 {
+			t.Fatalf("tick %d: empty network but InFlightLoad = %v", i, s.InFlightLoad())
+		}
+	}
+}

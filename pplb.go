@@ -329,6 +329,11 @@ func NewSystem(g *Graph, policy Policy, opts ...Option) (*System, error) {
 // Run advances the system by n ticks.
 func (s *System) Run(n int) { s.engine.Run(n) }
 
+// Close releases the engine's planning goroutines (only relevant with
+// WithWorkers > 1). Optional: engines are finalised automatically; Close
+// merely makes the release deterministic for tight construction loops.
+func (s *System) Close() { s.engine.Close() }
+
 // Step advances the system by one tick.
 func (s *System) Step() { s.engine.Step() }
 
