@@ -27,8 +27,13 @@ experiments:
 
 check: fmt-check vet build test experiments
 
+# Short-benchtime tick benchmarks: quick enough for CI, still catches order-
+# of-magnitude regressions. Override for real measurements, e.g.
+# `make bench BENCHTIME=2s`.
+BENCHTIME ?= 0.2s
+
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkTick -benchmem .
+	$(GO) test -run '^$$' -bench BenchmarkTick -benchmem -benchtime $(BENCHTIME) .
 
 bench-json:
 	$(GO) run ./cmd/pplb-bench -benchjson bench.json

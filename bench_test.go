@@ -103,9 +103,22 @@ func BenchmarkTickDiffusionTorus256(b *testing.B) { benchTickScenario(b, "TickDi
 // per-tick BFS pressure relaxation).
 func BenchmarkTickGMTorus256(b *testing.B) { benchTickScenario(b, "TickGMTorus256") }
 
-// BenchmarkTickPPLBParallel measures goroutine-parallel planning on a large
-// graph.
-func BenchmarkTickPPLBParallel(b *testing.B) { benchTickScenario(b, "TickPPLBParallel8") }
+// BenchmarkTickPPLBParallel measures the goroutine-parallel tick pipeline on
+// a 1024-node random-regular graph.
+func BenchmarkTickPPLBParallel(b *testing.B) { benchTickScenario(b, "TickPPLBParallel") }
+
+// BenchmarkTickPPLBTorus16384 measures the parallel pipeline at production
+// scale: one PPLB tick on a 128x128 torus (16,384 nodes, ~65k tasks) with
+// Workers=8.
+func BenchmarkTickPPLBTorus16384(b *testing.B) { benchTickScenario(b, "TickPPLBTorus16384") }
+
+// BenchmarkTickPPLBTorus16384W1 is the sequential twin of Torus16384: the
+// ratio of the two is the whole-tick parallel speedup on this commit.
+func BenchmarkTickPPLBTorus16384W1(b *testing.B) { benchTickScenario(b, "TickPPLBTorus16384W1") }
+
+// BenchmarkTickPPLBRR65536 measures one parallel PPLB tick on a 65,536-node
+// random 4-regular graph — the scalability ceiling scenario.
+func BenchmarkTickPPLBRR65536(b *testing.B) { benchTickScenario(b, "TickPPLBRR65536") }
 
 // BenchmarkStaticMapping measures the simulated-annealing mapper.
 func BenchmarkStaticMapping(b *testing.B) {

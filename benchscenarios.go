@@ -30,26 +30,36 @@ func tickScenario(name string, mkGraph func() *Graph, mkPolicy func() Policy, ta
 	}
 }
 
-// TickBenchScenarios returns the engine scenarios tracked across PRs (see
-// BENCH_PR1.json for the recorded trajectory).
-func TickBenchScenarios() []TickBenchScenario {
-	parallel := TickBenchScenario{
-		Name: "TickPPLBParallel8",
+// parallelScenario is a uniform-random workload on mkGraph() with the whole
+// tick pipeline running on `workers` goroutines (1 = the sequential engine,
+// bit-identical by the determinism contract). tasksPerNode scales the
+// steady-state work with the topology size.
+func parallelScenario(name string, mkGraph func() *Graph, tasksPerNode, workers, warm int) TickBenchScenario {
+	return TickBenchScenario{
+		Name: name,
 		New: func() (*System, error) {
-			g := RandomRegular(1024, 4, 7)
+			g := mkGraph()
 			sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
-				WithInitial(UniformRandomLoad(g.N(), 4096, 0.5, 3)),
+				WithInitial(UniformRandomLoad(g.N(), tasksPerNode*g.N(), 0.5, 3)),
 				WithSeed(1),
-				WithWorkers(8),
+				WithWorkers(workers),
 				WithMetricsEvery(1<<30),
 			)
 			if err != nil {
 				return nil, err
 			}
-			sys.Run(10)
+			sys.Run(warm)
 			return sys, nil
 		},
 	}
+}
+
+// TickBenchScenarios returns the engine scenarios tracked across PRs (see
+// BENCH_PR1.json / BENCH_PR2.json for the recorded trajectory). Scenario
+// names match their go-test benchmark functions minus the "Benchmark"
+// prefix, so `pplb-bench -benchjson` records and `go test -bench` output are
+// directly greppable against each other.
+func TickBenchScenarios() []TickBenchScenario {
 	return []TickBenchScenario{
 		tickScenario("TickPPLBTorus256", func() *Graph { return Torus(16, 16) },
 			func() Policy { return NewBalancer(DefaultBalancerConfig()) }, 512, 20),
@@ -59,7 +69,15 @@ func TickBenchScenarios() []TickBenchScenario {
 			func() Policy { return DiffusionPolicy(0) }, 512, 20),
 		tickScenario("TickGMTorus256", func() *Graph { return Torus(16, 16) },
 			func() Policy { return GradientModelPolicy() }, 512, 20),
-		parallel,
+		parallelScenario("TickPPLBParallel", func() *Graph { return RandomRegular(1024, 4, 7) }, 4, 8, 10),
+		// The production-scale scenarios the sharded pipeline opens: tens of
+		// thousands of nodes, the evaluation sizes of the massively-parallel
+		// load-balancing literature (Eibl & Rüde 2018; Demiralp et al. 2022).
+		// The Workers=1 twin of the 16k torus measures the parallel speedup
+		// on the same commit.
+		parallelScenario("TickPPLBTorus16384", func() *Graph { return Torus(128, 128) }, 4, 8, 10),
+		parallelScenario("TickPPLBTorus16384W1", func() *Graph { return Torus(128, 128) }, 4, 1, 10),
+		parallelScenario("TickPPLBRR65536", func() *Graph { return RandomRegular(65536, 4, 7) }, 2, 8, 5),
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [experiment ...]
+//	pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [-baseline FILE] [experiment ...]
 //
 // With no arguments it runs the whole registry. Experiments are named by id
 // (E1..E14) or alias (fig1, fig2, fig3, table1, thm2, compare, faults, deps,
@@ -14,7 +14,9 @@
 // shape checks (a CI gate). -benchjson runs the engine tick
 // micro-benchmarks instead of the experiment registry and writes a
 // machine-readable record of ns/op and allocs/op per scenario, so the
-// repository can track its performance trajectory across PRs.
+// repository can track its performance trajectory across PRs; each entry
+// also carries a delta against the previous PR's recorded trajectory
+// (-baseline overrides which BENCH_*.json to diff against, "none" disables).
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -31,36 +34,132 @@ import (
 
 // benchRecord is the machine-readable output of -benchjson.
 type benchRecord struct {
-	Schema     string           `json:"schema"` // "pplb-bench/1"
+	Schema     string           `json:"schema"` // "pplb-bench/2"
 	GoVersion  string           `json:"go_version"`
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
+	Baseline   string           `json:"baseline,omitempty"` // BENCH_*.json the deltas compare against
 	Benchmarks []benchmarkEntry `json:"benchmarks"`
 }
 
 type benchmarkEntry struct {
-	Name        string  `json:"name"`
+	Name        string  `json:"name"` // "Benchmark"-prefixed, matching the go-test benchmark
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// DeltaNsPct is the percentage change of ns/op against the baseline
+	// trajectory record ("after" values), negative = faster. Omitted when
+	// the baseline lacks the benchmark.
+	DeltaNsPct *float64 `json:"delta_ns_pct,omitempty"`
 }
 
-func runBenchJSON(path string) error {
+// trajectoryFile is the subset of the BENCH_PR*.json trajectory schema the
+// delta section reads.
+type trajectoryFile struct {
+	Benchmarks []struct {
+		Name  string `json:"name"`
+		After struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// findBaseline returns the BENCH_PR*.json in the current directory with the
+// highest PR number ("" when none exist) — the previous PR's recorded
+// trajectory, so every -benchjson run reports its drift by default.
+func findBaseline() string {
+	matches, _ := filepath.Glob("BENCH_PR*.json")
+	best, bestN := "", -1
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_PR%d.json", &n); err == nil && n > bestN {
+			best, bestN = m, n
+		}
+	}
+	return best
+}
+
+// sameFile reports whether a and b name the same path after cleaning
+// (neither needs to exist; a non-existent output cannot collide).
+func sameFile(a, b string) (bool, error) {
+	if a == "" || b == "" {
+		return false, nil
+	}
+	aa, err := filepath.Abs(a)
+	if err != nil {
+		return false, err
+	}
+	bb, err := filepath.Abs(b)
+	if err != nil {
+		return false, err
+	}
+	return aa == bb, nil
+}
+
+// loadBaseline maps benchmark name to the baseline's ns/op.
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tf trajectoryFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(tf.Benchmarks))
+	for _, b := range tf.Benchmarks {
+		if b.After.NsPerOp > 0 {
+			out[b.Name] = b.After.NsPerOp
+		}
+	}
+	return out, nil
+}
+
+func runBenchJSON(path, baseline string) error {
+	// Resolve the baseline before touching the output: recording straight
+	// into the next BENCH_PR*.json must neither pick the (about to be
+	// truncated) output as its own baseline nor destroy an existing record
+	// on the error path.
+	rec := benchRecord{
+		Schema:    "pplb-bench/2",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	explicit := baseline != ""
+	if !explicit {
+		baseline = findBaseline()
+		if same, err := sameFile(baseline, path); err == nil && same {
+			baseline = ""
+		}
+	}
+	var base map[string]float64
+	if baseline != "" && baseline != "none" {
+		b, err := loadBaseline(baseline)
+		switch {
+		case err == nil:
+			base = b
+			rec.Baseline = baseline
+		case explicit:
+			return fmt.Errorf("baseline %s: %w", baseline, err)
+		default:
+			// An unreadable auto-discovered baseline (e.g. the empty husk of
+			// a killed -benchjson run) should not block recording.
+			fmt.Fprintf(os.Stderr, "pplb-bench: ignoring unreadable baseline %s: %v\n", baseline, err)
+		}
+	}
 	// Open the output before spending minutes benchmarking, so a bad path
 	// fails immediately.
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	rec := benchRecord{
-		Schema:    "pplb-bench/1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-	}
 	// The scenario table is shared with the go-test BenchmarkTick*
-	// benchmarks, so -benchjson numbers are directly comparable to theirs.
+	// benchmarks, so -benchjson numbers are directly comparable to theirs;
+	// entries carry the full Benchmark* name so trajectory diffs across PRs
+	// stay greppable.
 	for _, bm := range pplb.TickBenchScenarios() {
 		sys, err := bm.New()
 		if err != nil {
@@ -75,15 +174,23 @@ func runBenchJSON(path string) error {
 			}
 		})
 		sys.Close()
-		rec.Benchmarks = append(rec.Benchmarks, benchmarkEntry{
-			Name:        bm.Name,
+		name := "Benchmark" + bm.Name
+		entry := benchmarkEntry{
+			Name:        name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
-		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
-			bm.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+		delta := ""
+		if prev, ok := base[name]; ok {
+			d := (entry.NsPerOp - prev) / prev * 100
+			entry.DeltaNsPct = &d
+			delta = fmt.Sprintf("  %+.1f%% vs %s", d, rec.Baseline)
+		}
+		rec.Benchmarks = append(rec.Benchmarks, entry)
+		fmt.Printf("%-32s %12.0f ns/op %8d B/op %6d allocs/op%s\n",
+			name, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp, delta)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -105,9 +212,10 @@ func main() {
 	out := flag.String("out", "", "also write the reports to this file")
 	checksPath := flag.String("checks", "", "write a machine-readable JSON summary of all checks to this file")
 	benchJSON := flag.String("benchjson", "", "run the engine tick micro-benchmarks and write a machine-readable record to this file")
+	baseline := flag.String("baseline", "", "trajectory BENCH_*.json to diff -benchjson results against (default: highest BENCH_PR*.json in the working directory; \"none\" disables)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [experiment ...]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [-baseline FILE] [experiment ...]\n\nexperiments:\n")
 		for _, d := range pplb.ExperimentDescriptions() {
 			fmt.Fprintf(os.Stderr, "  %s\n", d)
 		}
@@ -122,7 +230,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
+		if err := runBenchJSON(*benchJSON, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -23,7 +23,13 @@ func TestGoldenPPLBTorusRun(t *testing.T) {
 	if got := sys.State().TotalLoad(); got != 32 {
 		t.Errorf("total load = %v, want 32", got)
 	}
-	// Pinned values (seed 12345, 200 ticks, default config).
+	// Pinned values (seed 12345, 200 ticks, default config). The PR2 sharded
+	// tick pipeline preserved them exactly: its canonical orders (nodes
+	// ascending for application, source-shard-then-node ascending for
+	// transfer commits) coincide with the historical sequential sweep, and
+	// the fault-stream re-keying from a shared sequential RNG to per-transfer
+	// (task, tick) streams cannot affect a run with fault probability 0 —
+	// zero-probability draws never touched the stream in either scheme.
 	const (
 		wantMigrations = 1456
 		wantRejected   = 51

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pplb/internal/rng"
+)
+
+// fanJob is one phase fan-out handed to the persistent workers: invoke
+// run(i, scratch) for every i in [0, n), claiming items by atomic counter so
+// the assignment of items to workers is irrelevant to the (deterministic)
+// result. The engine strips the job's references (run/next/wg) once the
+// phase completes, so the shell a blocked worker may retain between ticks
+// keeps nothing alive and an idle Engine stays reclaimable by the collector
+// (its AddCleanup hook then shuts the pool down).
+type fanJob struct {
+	n    int
+	next *atomic.Int64
+	wg   *sync.WaitGroup
+	run  func(i int, r *rng.RNG)
+}
+
+// planPool is a fixed set of goroutines executing fanJobs. It started life as
+// a planning-only pool; it now runs every phase of the tick pipeline
+// (planning, move filtering, application, transfer commit/advance, service).
+// Each worker owns a scratch RNG reused across phases.
+type planPool struct {
+	jobs    chan *fanJob
+	workers int
+	closing sync.Once
+}
+
+func newPlanPool(workers int) *planPool {
+	p := &planPool{jobs: make(chan *fanJob), workers: workers}
+	for i := 0; i < workers; i++ {
+		go func() {
+			var r rng.RNG
+			for j := range p.jobs {
+				for {
+					v := int(j.next.Add(1)) - 1
+					if v >= j.n {
+						break
+					}
+					j.run(v, &r)
+				}
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// close releases the worker goroutines. Idempotent: the engine's explicit
+// Close and its GC cleanup hook may both reach it.
+func (p *planPool) close() { p.closing.Do(func() { close(p.jobs) }) }
+
+// fanOut runs run(i) for every i in [0, n): inline on the sequential engine,
+// on the persistent pool otherwise, returning only when every item is done.
+// Both paths execute the items of a shard-indexed phase in a deterministic
+// per-shard order, so they produce bit-identical state.
+func (e *Engine) fanOut(n int, run func(int, *rng.RNG)) {
+	if e.pool == nil {
+		for i := 0; i < n; i++ {
+			run(i, &e.seqRNG)
+		}
+		return
+	}
+	j := e.job
+	e.fanNext.Store(0)
+	e.fanWG.Add(e.pool.workers)
+	j.n, j.next, j.wg, j.run = n, &e.fanNext, &e.fanWG, run
+	for i := 0; i < e.pool.workers; i++ {
+		e.pool.jobs <- j
+	}
+	e.fanWG.Wait()
+	// Every worker is past its last touch of j (Done happens-before Wait
+	// returning); break the job's references to this engine so blocked
+	// workers retain only an inert shell.
+	j.next, j.wg, j.run = nil, nil, nil
+}

@@ -7,9 +7,7 @@
 //
 //  1. workload arrivals — new tasks are injected at nodes;
 //  2. planning — the policy proposes task migrations from a consistent view
-//     of the state at the start of the tick (per-node planning may run on a
-//     goroutine pool; results are merged in canonical node order so the
-//     parallel engine is bit-identical to the sequential one);
+//     of the state at the start of the tick;
 //  3. application — proposed moves are validated (edge exists, link free,
 //     task resident, one transfer per link, one move per task) and become
 //     in-flight transfers occupying their link for Latency(u,v) ticks;
@@ -20,6 +18,27 @@
 //  5. service — each node consumes up to ServiceRate load (0 = quiescent
 //     model, the setting of the paper's convergence theorems);
 //  6. observation — the OnTick hook fires for metrics collection.
+//
+// Every phase of the tick — not just planning — runs as a deterministic
+// sharded pipeline: nodes are partitioned into numShards contiguous ranges,
+// transfers live in a struct-of-arrays store sharded by destination node,
+// and each phase fans out across shards (on the persistent worker pool when
+// Config.Workers > 1, inline otherwise). Cross-shard effects flow through
+// per-shard outboxes committed in canonical shard order, per-shard partial
+// reductions are folded in ascending shard order, and all randomness is
+// drawn from streams keyed by position — planning by (node, tick), link
+// faults by (task, tick) — never by processing order. The sequential and
+// parallel engines therefore execute the exact same canonical algorithm and
+// are bit-identical.
+//
+// Move conflicts are resolved deterministically: within a node, moves apply
+// in ascending task id (first claimant per task and per link wins); across a
+// contested link, the lower endpoint's claim wins — matching the
+// first-claimant-wins outcome of the historical sequential sweep, with one
+// deliberate divergence: a node proposing two moves for the same task keeps
+// only the lowest-id one even if that claim later loses its link, where the
+// old sweep would have revived the fallback. Claims are thus decidable
+// locally, which is what lets application run in parallel.
 //
 // Tasks that arrived with inertia but did not continue their slide in the
 // following tick settle automatically (their Moving flag is cleared), which
@@ -91,15 +110,6 @@ type Arrival struct {
 // per-tick stream.
 type ArrivalFunc func(tick int64, r *rng.RNG) []Arrival
 
-// Transfer is a task in flight on a link.
-type Transfer struct {
-	Task      *taskmodel.Task
-	From, To  int
-	Remaining int
-	Bounce    bool // returning to sender after a fault
-	moving    bool // deliver with inertia
-}
-
 // Counters aggregates the engine's cumulative accounting.
 type Counters struct {
 	Migrations     int64   // successful task deliveries (excluding bounces)
@@ -113,6 +123,21 @@ type Counters struct {
 	TasksCompleted int64
 }
 
+// add folds a per-shard partial into the cumulative counters. Called in
+// ascending shard order only, so the float fields accumulate in a canonical
+// order regardless of which worker produced which partial.
+func (c *Counters) add(d Counters) {
+	c.Migrations += d.Migrations
+	c.MigratedLoad += d.MigratedLoad
+	c.Traffic += d.Traffic
+	c.BouncedTraffic += d.BouncedTraffic
+	c.Faults += d.Faults
+	c.Rejected += d.Rejected
+	c.Injected += d.Injected
+	c.Consumed += d.Consumed
+	c.TasksCompleted += d.TasksCompleted
+}
+
 // State is the full mutable simulation state. Policies receive it wrapped in
 // a read-only View.
 type State struct {
@@ -121,11 +146,17 @@ type State struct {
 	tgraph *taskmodel.Graph
 	res    *taskmodel.Resources
 
-	queues    []taskmodel.Queue
-	transfers []*Transfer
-	linkBusy  []bool
-	speeds    []float64 // per-node processing speed (nil = uniform 1)
-	tick      int64
+	queues   []taskmodel.Queue
+	linkBusy []bool
+	speeds   []float64 // per-node processing speed (nil = uniform 1)
+	tick     int64
+
+	// Sharded transfer store and the node partition behind the whole tick
+	// pipeline: shard k owns nodes [shardLo[k], shardLo[k+1]) and every
+	// transfer in flight towards one of them.
+	shards    [numShards]transferShard
+	shardLo   [numShards + 1]int
+	nodeShard []uint8
 
 	// Incremental aggregates, maintained as transfers start and resolve so
 	// the per-tick hot-path reads are O(1) instead of scans.
@@ -285,7 +316,13 @@ func (s *State) Links() *linkmodel.Params { return s.links }
 func (s *State) Queue(n int) *taskmodel.Queue { return &s.queues[n] }
 
 // InFlight returns the number of transfers currently on links.
-func (s *State) InFlight() int { return len(s.transfers) }
+func (s *State) InFlight() int {
+	n := 0
+	for k := range s.shards {
+		n += s.shards[k].len()
+	}
+	return n
+}
 
 // InFlightLoad returns the total load currently on links (O(1), maintained
 // incrementally).
@@ -335,13 +372,20 @@ type Config struct {
 	// and consumes ServiceRate·s load per tick.
 	Speeds []float64
 
-	// Workers > 1 plans nodes on a goroutine pool. Results are identical to
-	// the sequential engine.
+	// Workers > 1 runs the whole tick pipeline (planning, move application,
+	// transfer advancement, service, arrival injection) on a goroutine pool.
+	// Results are bit-identical to the sequential engine.
 	Workers int
 
 	// OnTick observes the state after each completed tick.
 	OnTick func(*State)
 }
+
+// arrivalFanOut is the arrival count above which injection is worth fanning
+// out across the node shards instead of running inline. Both paths produce
+// identical state (task ids and the Injected counter are assigned
+// sequentially either way), so the threshold is a pure heuristic.
+const arrivalFanOut = 64
 
 // Engine drives the simulation.
 type Engine struct {
@@ -349,78 +393,48 @@ type Engine struct {
 	state *State
 
 	planBase   *rng.RNG
-	faultRNG   *rng.RNG
+	faultBase  *rng.RNG
 	arrivalRNG *rng.RNG
+	tickFault  rng.RNG // per-tick fault-stream base: faultBase split by tick
+	arrScratch rng.RNG // per-tick arrival stream
 
-	planBuf [][]Move
-	planRNG rng.RNG // scratch stream for sequential planning
+	planBuf  [][]Move
+	planEdge [][]int32 // canonical edge id per filtered move, aligned with planBuf
+	seqRNG   rng.RNG   // scratch stream for the inline (Workers <= 1) fan-out
 
-	// Persistent planning pool (Workers > 1), created once in New and reused
-	// every tick; planNext/planWG are the per-tick fan-out state. The engine
-	// must hold no reference to itself (no stored self-closures): an object
-	// in a reference cycle never gets its finalizer run, and the pool relies
-	// on the finalizer to shut down when the engine is dropped un-Closed.
-	pool     *planPool
-	planNext atomic.Int64
-	planWG   sync.WaitGroup
+	// Persistent worker pool (Workers > 1), created once in New and reused
+	// for every phase fan-out of every tick; fanNext/fanWG and the single
+	// reusable job shell are the per-phase state.
+	pool    *planPool
+	fanNext atomic.Int64
+	fanWG   sync.WaitGroup
+	job     *fanJob
+	cleanup runtime.Cleanup
 
-	moved   map[taskmodel.ID]bool // reused across ticks by apply
-	trFree  []*Transfer           // freelist of delivered Transfer shells
-	closing sync.Once
+	// Per-shard per-tick scratch (outboxes + partial reductions).
+	parts [numShards]shardPart
+
+	movingNext   []*taskmodel.Task            // scratch for rebuilding movingResident
+	arrShard     [numShards][]*taskmodel.Task // arrival batch bucketed by owning shard
+	hadTransfers bool                         // transfers existed when advancement began
+
+	// Cached phase runners. These closures reference the engine (a plain
+	// internal cycle, which the tracing collector handles fine — the old
+	// SetFinalizer-era rule against self-references died with the migration
+	// to runtime.AddCleanup).
+	runPlanFilter, runApply, runCommitMoves,
+	runAdvance, runCommitBounces, runService, runInject func(int, *rng.RNG)
 }
 
-// planJob is one tick's fan-out handed to the persistent workers. The
-// engine strips the job's engine references (run/next/wg) once the tick's
-// planning completes, so the shell a blocked worker retains between ticks
-// keeps nothing alive and an idle Engine stays reclaimable by the collector
-// (its finalizer then shuts the pool down).
-type planJob struct {
-	n    int
-	next *atomic.Int64
-	wg   *sync.WaitGroup
-	run  func(v int, r *rng.RNG)
-}
-
-// planPool is a fixed set of goroutines executing planJobs. Each worker owns
-// a scratch RNG; work is claimed by atomic counter so the assignment of
-// nodes to workers is irrelevant to the (deterministic) result.
-type planPool struct {
-	jobs    chan *planJob
-	workers int
-}
-
-func newPlanPool(workers int) *planPool {
-	p := &planPool{jobs: make(chan *planJob), workers: workers}
-	for i := 0; i < workers; i++ {
-		go func() {
-			var r rng.RNG
-			for j := range p.jobs {
-				for {
-					v := int(j.next.Add(1)) - 1
-					if v >= j.n {
-						break
-					}
-					j.run(v, &r)
-				}
-				j.wg.Done()
-			}
-		}()
-	}
-	return p
-}
-
-func (p *planPool) close() { close(p.jobs) }
-
-// Close releases the engine's planning goroutines. It is safe to call more
-// than once; the engine must not be stepped afterwards. Engines are also
-// finalised automatically, so Close is an optimisation for tight loops that
-// build many parallel engines, not an obligation.
+// Close releases the engine's worker goroutines. It is safe to call more
+// than once; the engine must not be stepped afterwards. Dropped engines are
+// also cleaned up automatically, so Close is an optimisation for tight loops
+// that build many parallel engines, not an obligation.
 func (e *Engine) Close() {
-	e.closing.Do(func() {
-		if e.pool != nil {
-			e.pool.close()
-		}
-	})
+	if e.pool != nil {
+		e.cleanup.Stop()
+		e.pool.close()
+	}
 }
 
 // New validates the configuration and builds an engine with the initial
@@ -454,33 +468,52 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	n := cfg.Graph.N()
 	s := &State{
 		g:          cfg.Graph,
 		links:      cfg.Links,
 		tgraph:     cfg.TaskGraph,
 		res:        cfg.Resources,
-		queues:     make([]taskmodel.Queue, cfg.Graph.N()),
+		queues:     make([]taskmodel.Queue, n),
 		linkBusy:   make([]bool, cfg.Graph.NumEdges()),
-		inflightTo: make([]float64, cfg.Graph.N()),
+		inflightTo: make([]float64, n),
+		nodeShard:  make([]uint8, n),
 		speeds:     cfg.Speeds,
 	}
 	s.view.s = s
+	for k := 0; k <= numShards; k++ {
+		s.shardLo[k] = k * n / numShards
+	}
+	for k := 0; k < numShards; k++ {
+		for v := s.shardLo[k]; v < s.shardLo[k+1]; v++ {
+			s.nodeShard[v] = uint8(k)
+		}
+	}
 	base := rng.New(cfg.Seed)
 	e := &Engine{
 		cfg:        cfg,
 		state:      s,
 		planBase:   base.Split(1),
-		faultRNG:   base.Split(2),
+		faultBase:  base.Split(2),
 		arrivalRNG: base.Split(3),
-		planBuf:    make([][]Move, cfg.Graph.N()),
-		moved:      make(map[taskmodel.ID]bool),
+		planBuf:    make([][]Move, n),
+		planEdge:   make([][]int32, n),
 	}
+	e.runPlanFilter = e.planFilterShard
+	e.runApply = e.applyShard
+	e.runCommitMoves = e.commitMovesShard
+	e.runAdvance = e.advanceShard
+	e.runCommitBounces = e.commitBouncesShard
+	e.runService = e.serviceShard
+	e.runInject = e.injectShard
 	if cfg.Workers > 1 {
 		e.pool = newPlanPool(cfg.Workers)
+		e.job = new(fanJob)
 		// Reclaim the pool goroutines when the engine is dropped without an
-		// explicit Close. Workers hold no reference to the engine between
-		// ticks, so an unreachable engine really is finalisable.
-		runtime.SetFinalizer(e, (*Engine).Close)
+		// explicit Close. The cleanup captures only the pool, never the
+		// engine, so it runs as soon as the engine is unreachable; workers
+		// hold no engine reference between ticks (fanOut strips the job).
+		e.cleanup = runtime.AddCleanup(e, func(p *planPool) { p.close() }, e.pool)
 	}
 	for v, sizes := range cfg.Initial {
 		for _, load := range sizes {
@@ -490,15 +523,24 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// createTask mints a task at node with the given load and books its
+// injection (id assignment and the Injected counter are always sequential);
+// queue placement is the caller's concern. Both arrival paths — inline and
+// sharded fan-out — go through here, so their accounting cannot drift apart.
+func (e *Engine) createTask(node int, load float64) *taskmodel.Task {
+	s := e.state
+	t := taskmodel.New(s.nextTaskID, load, node, s.tick)
+	s.nextTaskID++
+	s.counters.Injected += load
+	return t
+}
+
 func (e *Engine) inject(node int, load float64) *taskmodel.Task {
 	if load <= 0 {
 		return nil
 	}
-	s := e.state
-	t := taskmodel.New(s.nextTaskID, load, node, s.tick)
-	s.nextTaskID++
-	s.queues[node].Add(t)
-	s.counters.Injected += load
+	t := e.createTask(node, load)
+	e.state.queues[node].Add(t)
 	return t
 }
 
@@ -524,59 +566,92 @@ func (e *Engine) RunUntil(pred func(*State) bool, maxTicks int) (int, bool) {
 	return maxTicks, pred(e.state)
 }
 
-// Step executes one tick.
+// Step executes one tick of the sharded pipeline.
 func (e *Engine) Step() {
 	s := e.state
 
-	// 1. Workload arrivals.
+	// 1. Workload arrivals. Task ids and the Injected counter are assigned
+	// sequentially; large batches fan the queue insertion out across the
+	// node shards (each shard places the arrivals it owns, in batch order,
+	// which yields exactly the sequential per-queue insertion order).
 	if e.cfg.Arrivals != nil {
-		r := e.arrivalRNG.Split(uint64(s.tick))
-		for _, a := range e.cfg.Arrivals(s.tick, r) {
-			if a.Node >= 0 && a.Node < s.g.N() {
-				e.inject(a.Node, a.Load)
+		e.arrivalRNG.SplitInto(uint64(s.tick), &e.arrScratch)
+		arr := e.cfg.Arrivals(s.tick, &e.arrScratch)
+		if e.pool != nil && len(arr) >= arrivalFanOut {
+			for _, a := range arr {
+				if a.Node < 0 || a.Node >= s.g.N() || a.Load <= 0 {
+					continue
+				}
+				k := s.nodeShard[a.Node]
+				e.arrShard[k] = append(e.arrShard[k], e.createTask(a.Node, a.Load))
+			}
+			e.fanOut(numShards, e.runInject)
+		} else {
+			for _, a := range arr {
+				if a.Node >= 0 && a.Node < s.g.N() {
+					e.inject(a.Node, a.Load)
+				}
 			}
 		}
 	}
 
-	// 2. Planning.
+	// 2+3a. Planning and filtering, fused per shard: each node's proposals
+	// (drawn from its (node, tick) stream) are immediately reduced to the
+	// locally valid claims, and only nodes with surviving claims enter the
+	// shard's active list — later phases never rescan the full node range.
 	if p, ok := e.cfg.Policy.(TickPreparer); ok {
 		p.PrepareTick(s.View())
 	}
-	e.plan()
+	e.fanOut(numShards, e.runPlanFilter)
 
-	// 3. Validation + application in canonical node order.
-	moved := e.apply()
+	// 3b. Application: resolve cross-node link contention (lowest endpoint
+	// wins), turn winners into outbox records, and commit them to the
+	// destination shards' transfer stores in canonical shard order. Skipped
+	// entirely when no node holds a claim — the skip tests only
+	// Workers-independent state, so it cannot perturb determinism.
+	if e.anyActive() {
+		e.fanOut(numShards, e.runApply)
+		e.fanOut(numShards, e.runCommitMoves)
+		e.clearOutMasks()
+	}
 
 	// Tasks delivered with inertia on earlier ticks have now had their
-	// continuation chance; capture them before advancement appends this
+	// continuation chance; capture them before advancement delivers this
 	// tick's arrivals.
 	prevMoving := s.movingResident
-	s.movingResident = nil
 
 	// 4. Transfer advancement (includes transfers created this tick; a
 	// latency-1 transfer planned now is delivered at the end of this tick
-	// and visible to planning from the next tick).
-	e.advanceTransfers()
+	// and visible to planning from the next tick). Fault draws come from a
+	// stream keyed by (task, tick), so they are independent of processing
+	// order; faulted transfers bounce towards their sender through the
+	// outboxes, committed shard-canonically like fresh transfers.
+	e.hadTransfers = s.InFlight() > 0
+	if e.hadTransfers {
+		e.faultBase.SplitInto(uint64(s.tick), &e.tickFault)
+		e.fanOut(numShards, e.runAdvance)
+		if e.outboxesPending() {
+			e.fanOut(numShards, e.runCommitBounces)
+			e.clearOutMasks()
+		}
+	}
 
 	// Settle inertial tasks that did not continue their slide: the particle
 	// has come to rest in this valley.
 	for _, t := range prevMoving {
-		if t.Moving && !moved[t.ID] {
+		if t.Moving && t.MovedTick != s.tick {
 			t.Moving = false
 		}
 	}
 
 	// 5. Service (scaled by node speed on heterogeneous systems).
 	if e.cfg.ServiceRate > 0 {
-		for v := range s.queues {
-			done, consumed := s.queues[v].ConsumeService(e.cfg.ServiceRate*s.Speed(v), s.tick)
-			s.counters.Consumed += consumed
-			for _, t := range done {
-				s.counters.TasksCompleted++
-				s.respTime.Add(float64(t.Done - t.Birth))
-			}
-		}
+		e.fanOut(numShards, e.runService)
 	}
+
+	// Fold the per-shard partials into the global state in ascending shard
+	// order (canonical float summation).
+	e.reduce()
 
 	s.tick++
 
@@ -586,181 +661,340 @@ func (e *Engine) Step() {
 	}
 }
 
-// planOne derives node v's deterministic stream and collects its proposals.
-func (e *Engine) planOne(v int, r *rng.RNG) {
-	s := e.state
-	e.planBase.SplitInto(uint64(s.tick)*uint64(s.g.N())+uint64(v), r)
-	e.planBuf[v] = e.cfg.Policy.PlanNode(v, s.View(), r)
-}
-
-// plan fills planBuf with each node's proposed moves, sequentially or on the
-// persistent worker pool.
-func (e *Engine) plan() {
-	n := e.state.g.N()
-	if e.pool == nil {
-		for v := 0; v < n; v++ {
-			e.planOne(v, &e.planRNG)
-		}
-		return
-	}
-	e.planNext.Store(0)
-	e.planWG.Add(e.pool.workers)
-	// The closure is rebuilt per tick rather than cached on the engine: it
-	// has to escape into the job anyway, and caching it would create the
-	// self-cycle that disables the engine's finalizer.
-	j := &planJob{n: n, next: &e.planNext, wg: &e.planWG, run: e.planOne}
-	for i := 0; i < e.pool.workers; i++ {
-		e.pool.jobs <- j
-	}
-	e.planWG.Wait()
-	// Every worker is past its last touch of j (Done happens-before Wait
-	// returning); break the job's references to this engine so blocked
-	// workers retain only an inert shell.
-	j.next, j.wg, j.run = nil, nil, nil
-}
-
-// sortMovesByTask orders moves ascending by task id, stable (unlike the old
-// sort.SliceStable call, slices.SortStableFunc allocates no reflection
-// swapper).
+// sortMovesByTask orders moves ascending by task id, stable.
 func sortMovesByTask(moves []Move) {
 	slices.SortStableFunc(moves, func(a, b Move) int {
 		return cmp.Compare(a.TaskID, b.TaskID)
 	})
 }
 
-// newTransfer takes a shell from the freelist or allocates one.
-func (e *Engine) newTransfer(t *taskmodel.Task, from, to, remaining int, moving bool) *Transfer {
-	if n := len(e.trFree); n > 0 {
-		tr := e.trFree[n-1]
-		e.trFree[n-1] = nil
-		e.trFree = e.trFree[:n-1]
-		*tr = Transfer{Task: t, From: from, To: to, Remaining: remaining, moving: moving}
-		return tr
-	}
-	return &Transfer{Task: t, From: from, To: to, Remaining: remaining, moving: moving}
-}
-
-// apply validates and applies the planned moves in canonical order,
-// returning the set of task ids that departed. The returned map is reused
-// across ticks; it is valid until the next apply call.
-func (e *Engine) apply() map[taskmodel.ID]bool {
+// planFilterShard plans each owned node from its deterministic (node, tick)
+// stream and immediately reduces the proposals to the node's locally valid
+// claims, in canonical (ascending task id) order: structural checks (own
+// task, real edge, link free since last tick, task resident) plus
+// first-claimant-wins per task and per link within the node. Cross-node
+// link contention is resolved later in applyShard; committing to one claim
+// per task here (rather than reviving a duplicate-task fallback after a
+// lost link contest, as the old sequential sweep could) is what keeps every
+// claim locally decidable. Only nodes with survivors land on the shard's
+// active list.
+func (e *Engine) planFilterShard(k int, r *rng.RNG) {
 	s := e.state
-	moved := e.moved
-	clear(moved)
-	for v := 0; v < s.g.N(); v++ {
-		moves := e.planBuf[v]
-		e.planBuf[v] = nil
+	p := &e.parts[k]
+	rejectedBefore := p.counters.Rejected
+	tickBase := uint64(s.tick) * uint64(s.g.N())
+	for v := s.shardLo[k]; v < s.shardLo[k+1]; v++ {
+		e.planBase.SplitInto(tickBase+uint64(v), r)
+		moves := e.cfg.Policy.PlanNode(v, s.View(), r)
 		if len(moves) == 0 {
 			continue
 		}
-		// Canonical intra-node order for determinism.
 		sortMovesByTask(moves)
+		kept := moves[:0]
+		eids := e.planEdge[v][:0]
+		var lastTask taskmodel.ID
 		for _, m := range moves {
-			if !e.validate(v, m, moved) {
-				s.counters.Rejected++
+			if m.From != v || m.From == m.To {
+				p.counters.Rejected++
 				continue
 			}
-			t := s.queues[m.From].Remove(m.TaskID)
+			id, ok := s.g.EdgeID(m.From, m.To)
+			if !ok || s.linkBusy[id] {
+				p.counters.Rejected++
+				continue
+			}
+			if len(kept) > 0 && m.TaskID == lastTask {
+				p.counters.Rejected++ // one move per task (ids are sorted)
+				continue
+			}
+			if !s.queues[v].Has(m.TaskID) {
+				p.counters.Rejected++
+				continue
+			}
+			dup := false
+			for _, eid := range eids {
+				if eid == int32(id) {
+					dup = true // one transfer per link
+					break
+				}
+			}
+			if dup {
+				p.counters.Rejected++
+				continue
+			}
+			kept = append(kept, m)
+			eids = append(eids, int32(id))
+			lastTask = m.TaskID
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		e.planBuf[v] = kept
+		e.planEdge[v] = eids
+		p.active = append(p.active, int32(v))
+	}
+	if len(p.active) > 0 || p.counters.Rejected != rejectedBefore {
+		p.dirty = true
+	}
+}
+
+// anyActive reports whether any shard holds surviving claims this tick.
+func (e *Engine) anyActive() bool {
+	for k := range e.parts {
+		if len(e.parts[k].active) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// outboxesPending reports whether any shard produced outbox records in the
+// phase that just completed.
+func (e *Engine) outboxesPending() bool {
+	m := uint32(0)
+	for k := range e.parts {
+		m |= e.parts[k].outMask
+	}
+	return m != 0
+}
+
+// clearOutMasks resets the outbox occupancy masks after a commit phase has
+// drained every slot. Runs between fan-outs, single-threaded.
+func (e *Engine) clearOutMasks() {
+	for k := range e.parts {
+		e.parts[k].outMask = 0
+	}
+}
+
+// opposing reports whether the filtered claims of the lower endpoint include
+// a move across the link towards v (in which case the lower endpoint wins
+// the link).
+func opposing(moves []Move, v int) bool {
+	for i := range moves {
+		if moves[i].To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// applyShard applies each owned node's surviving claims: contested links go
+// to the lower endpoint (deterministic, the first-claimant-wins outcome of
+// a sequential ascending-node sweep), winners leave their queue and become
+// transfer records in the outbox of the destination's shard.
+func (e *Engine) applyShard(k int, _ *rng.RNG) {
+	s := e.state
+	p := &e.parts[k]
+	for _, va := range p.active {
+		v := int(va)
+		moves := e.planBuf[v]
+		eids := e.planEdge[v]
+		for i := range moves {
+			m := &moves[i]
+			if m.To < v && opposing(e.planBuf[m.To], v) {
+				p.counters.Rejected++
+				continue
+			}
+			t := s.queues[v].Remove(m.TaskID)
 			if t == nil {
-				s.counters.Rejected++
+				p.counters.Rejected++ // unreachable: residency checked in filter
 				continue
 			}
 			if !math.IsNaN(m.NewFlag) {
 				t.Flag = m.NewFlag
 			}
-			id, _ := s.g.EdgeID(m.From, m.To)
-			s.linkBusy[id] = true
-			s.transfers = append(s.transfers, e.newTransfer(t, m.From, m.To, s.links.LatencyByEdge(id), m.Moving))
-			s.inflightTo[m.To] += t.Load
-			s.inflightLoad += t.Load
-			moved[m.TaskID] = true
+			eid := eids[i]
+			s.linkBusy[eid] = true // sole winner of this link writes it
+			t.MovedTick = s.tick
+			p.inflightD += t.Load
+			dst := s.nodeShard[m.To]
+			p.outMask |= 1 << dst
+			p.out[dst] = append(p.out[dst], transferRec{
+				task:      t,
+				from:      int32(v),
+				to:        int32(m.To),
+				edge:      eid,
+				remaining: int32(s.links.LatencyByEdge(int(eid))),
+				moving:    m.Moving,
+			})
 		}
 	}
-	return moved
 }
 
-func (e *Engine) validate(proposer int, m Move, moved map[taskmodel.ID]bool) bool {
+// commitOutboxes drains every shard's outbox slot for shard j, in ascending
+// source-shard order, into j's transfer store, maintaining the in-flight
+// aggregate of the receiving nodes (all owned by j). The occupancy masks
+// keep the all-pairs scan to 16 hot words instead of 256 scattered slice
+// headers.
+func (e *Engine) commitOutboxes(j int) {
 	s := e.state
-	if m.From != proposer {
-		return false // nodes may only move their own tasks
+	sh := &s.shards[j]
+	bit := uint32(1) << j
+	for k := 0; k < numShards; k++ {
+		if e.parts[k].outMask&bit == 0 {
+			continue
+		}
+		recs := e.parts[k].out[j]
+		for i := range recs {
+			sh.push(recs[i])
+			s.inflightTo[recs[i].to] += recs[i].task.Load
+			recs[i].task = nil
+		}
+		e.parts[k].out[j] = recs[:0]
 	}
-	if m.From == m.To {
-		return false
-	}
-	id, ok := s.g.EdgeID(m.From, m.To)
-	if !ok {
-		return false
-	}
-	if s.linkBusy[id] {
-		return false
-	}
-	if moved[m.TaskID] {
-		return false
-	}
-	if !s.queues[m.From].Has(m.TaskID) {
-		return false
-	}
-	return true
 }
 
-// advanceTransfers decrements remaining latencies and resolves arrivals,
-// keeping the in-flight aggregates in sync.
-func (e *Engine) advanceTransfers() {
+// commitMovesShard commits the freshly applied transfers destined to shard
+// j's nodes and retires the plan buffers of j's active nodes for the tick.
+func (e *Engine) commitMovesShard(j int, _ *rng.RNG) {
+	e.commitOutboxes(j)
+	p := &e.parts[j]
+	for _, v := range p.active {
+		e.planBuf[v] = nil
+		e.planEdge[v] = e.planEdge[v][:0]
+	}
+	p.active = p.active[:0]
+}
+
+// commitBouncesShard commits the transfers that faulted during advancement
+// and are returning towards senders owned by shard j.
+func (e *Engine) commitBouncesShard(j int, _ *rng.RNG) {
+	e.commitOutboxes(j)
+}
+
+// advanceShard decrements the remaining latency of shard k's transfers and
+// resolves arrivals: delivery into the destination queue (owned by this
+// shard) or a fault drawn from the (task, tick)-keyed stream, which turns
+// the transfer into a bounce record for the sender's shard. Compaction is
+// in place; the store allocates nothing in steady state.
+func (e *Engine) advanceShard(k int, r *rng.RNG) {
 	s := e.state
-	hadTransfers := len(s.transfers) > 0
-	keep := s.transfers[:0]
-	for _, tr := range s.transfers {
-		tr.Remaining--
-		if tr.Remaining > 0 {
-			keep = append(keep, tr)
+	sh := &s.shards[k]
+	p := &e.parts[k]
+	w := 0
+	n := sh.len()
+	if n > 0 {
+		p.dirty = true // conservative: resolutions may write any partial
+	}
+	for i := 0; i < n; i++ {
+		rem := sh.remaining[i] - 1
+		if rem > 0 {
+			sh.keepAt(w, i, rem)
+			w++
 			continue
 		}
-		id, _ := s.g.EdgeID(tr.From, tr.To)
-		cost := s.links.CostByEdge(id)
-		if !tr.Bounce && e.faultRNG.Bernoulli(s.links.DeliveryFailureProbByEdge(id)) {
-			// Link fault: the task bounces back to the sender, occupying the
-			// link again for the return trip. The wasted effort is booked as
-			// bounced traffic. Bounce legs are not themselves faultable (the
-			// retreat is local recovery, not a fresh transmission).
-			s.counters.Faults++
-			s.counters.BouncedTraffic += tr.Task.Load * cost
-			s.inflightTo[tr.To] -= tr.Task.Load
-			tr.From, tr.To = tr.To, tr.From
-			tr.Remaining = s.links.LatencyByEdge(id)
-			tr.Bounce = true
-			tr.moving = false
-			s.inflightTo[tr.To] += tr.Task.Load
-			keep = append(keep, tr)
-			continue
-		}
-		// Delivery (or bounce completion).
-		s.linkBusy[id] = false
-		t := tr.Task
-		s.queues[tr.To].Add(t)
-		s.inflightTo[tr.To] -= t.Load
-		s.inflightLoad -= t.Load
-		if tr.Bounce {
-			t.Moving = false
-		} else {
-			t.Prev = tr.From
-			t.Hops++
-			s.counters.Migrations++
-			s.counters.MigratedLoad += t.Load
-			s.counters.Traffic += t.Load * cost
-			t.Moving = tr.moving
-			if tr.moving {
-				s.movingResident = append(s.movingResident, t)
+		eid := int(sh.edge[i])
+		t := sh.task[i]
+		cost := s.links.CostByEdge(eid)
+		if !sh.bounce[i] {
+			if fp := s.links.DeliveryFailureProbByEdge(eid); fp > 0 {
+				e.tickFault.SplitInto(uint64(t.ID), r)
+				if r.Bernoulli(fp) {
+					// Link fault: the task bounces back to the sender,
+					// occupying the link again for the return trip. The
+					// wasted effort is booked as bounced traffic. Bounce legs
+					// are not themselves faultable (the retreat is local
+					// recovery, not a fresh transmission).
+					p.counters.Faults++
+					p.counters.BouncedTraffic += t.Load * cost
+					s.inflightTo[sh.to[i]] -= t.Load
+					dst := s.nodeShard[sh.from[i]]
+					p.outMask |= 1 << dst
+					p.out[dst] = append(p.out[dst], transferRec{
+						task:      t,
+						from:      sh.to[i],
+						to:        sh.from[i],
+						edge:      sh.edge[i],
+						remaining: int32(s.links.LatencyByEdge(eid)),
+						bounce:    true,
+					})
+					continue
+				}
 			}
 		}
-		tr.Task = nil // do not pin the delivered task from the freelist
-		e.trFree = append(e.trFree, tr)
+		// Delivery (or bounce completion).
+		s.linkBusy[eid] = false
+		to := int(sh.to[i])
+		s.queues[to].Add(t)
+		s.inflightTo[to] -= t.Load
+		p.inflightD -= t.Load
+		if sh.bounce[i] {
+			t.Moving = false
+		} else {
+			t.Prev = int(sh.from[i])
+			t.Hops++
+			p.counters.Migrations++
+			p.counters.MigratedLoad += t.Load
+			p.counters.Traffic += t.Load * cost
+			t.Moving = sh.moving[i]
+			if sh.moving[i] {
+				p.moving = append(p.moving, t)
+			}
+		}
 	}
-	// Zero the tail so dropped transfers are collectable.
-	for i := len(keep); i < len(s.transfers); i++ {
-		s.transfers[i] = nil
+	sh.truncate(w)
+}
+
+// serviceShard consumes service capacity on shard k's nodes, collecting
+// completed tasks and the consumed load as shard partials.
+func (e *Engine) serviceShard(k int, _ *rng.RNG) {
+	s := e.state
+	p := &e.parts[k]
+	for v := s.shardLo[k]; v < s.shardLo[k+1]; v++ {
+		done, consumed := s.queues[v].ConsumeServiceInto(e.cfg.ServiceRate*s.Speed(v), s.tick, p.done)
+		p.done = done
+		p.counters.Consumed += consumed
 	}
-	s.transfers = keep
-	if hadTransfers && len(s.transfers) == 0 {
+	if p.counters.Consumed != 0 || len(p.done) > 0 {
+		p.dirty = true
+	}
+}
+
+// injectShard places shard k's bucket of the pending arrival batch (filled
+// during the sequential id-assignment pass, preserving batch order per
+// queue) and retires the bucket.
+func (e *Engine) injectShard(k int, _ *rng.RNG) {
+	s := e.state
+	bucket := e.arrShard[k]
+	for _, t := range bucket {
+		s.queues[t.Origin].Add(t)
+	}
+	clear(bucket)
+	e.arrShard[k] = bucket[:0]
+}
+
+// reduce folds every shard partial into the global state in ascending shard
+// order — the single canonical summation order shared by the sequential and
+// parallel engines — then maintains the in-flight aggregates' drift guards.
+func (e *Engine) reduce() {
+	s := e.state
+	next := e.movingNext[:0]
+	for k := 0; k < numShards; k++ {
+		p := &e.parts[k]
+		if !p.dirty {
+			continue // float-exact: an untouched partial folds to a no-op
+		}
+		p.dirty = false
+		s.counters.add(p.counters)
+		s.inflightLoad += p.inflightD
+		for _, t := range p.done {
+			s.counters.TasksCompleted++
+			s.respTime.Add(float64(t.Done - t.Birth))
+		}
+		next = append(next, p.moving...)
+		p.counters = Counters{}
+		p.inflightD = 0
+		clear(p.done)
+		p.done = p.done[:0]
+		clear(p.moving)
+		p.moving = p.moving[:0]
+	}
+	old := s.movingResident
+	clear(old)
+	e.movingNext = old[:0]
+	s.movingResident = next
+
+	if e.hadTransfers && s.InFlight() == 0 {
 		// Quiescent network: reset the aggregates so incremental float
 		// arithmetic cannot leave residual drift behind.
 		s.inflightLoad = 0
@@ -775,9 +1009,12 @@ func (e *Engine) advanceTransfers() {
 		for i := range s.inflightTo {
 			s.inflightTo[i] = 0
 		}
-		for _, tr := range s.transfers {
-			s.inflightTo[tr.To] += tr.Task.Load
-			s.inflightLoad += tr.Task.Load
+		for k := range s.shards {
+			sh := &s.shards[k]
+			for i, t := range sh.task {
+				s.inflightTo[sh.to[i]] += t.Load
+				s.inflightLoad += t.Load
+			}
 		}
 	}
 }

@@ -183,6 +183,34 @@ type policyFunc func(v int, view *View, r *rng.RNG) []Move
 func (policyFunc) Name() string                                 { return "func" }
 func (f policyFunc) PlanNode(v int, w *View, r *rng.RNG) []Move { return f(v, w, r) }
 
+// Within one node, two proposals over the same link resolve to the lower
+// task id (canonical first-claimant-wins), and a proposal losing a contested
+// link does not revive a later duplicate-task move — the deterministic
+// conflict rules of the sharded apply phase.
+func TestIntraNodeLinkClaimCanonicalOrder(t *testing.T) {
+	p := policyFunc(func(v int, view *View, r *rng.RNG) []Move {
+		if v != 0 || view.Tick() != 0 {
+			return nil
+		}
+		tasks := view.Tasks(0)
+		// Propose in descending id order; the engine must still apply the
+		// lowest id.
+		return []Move{
+			{TaskID: tasks[1].ID, From: 0, To: 1, NewFlag: NaNFlag()},
+			{TaskID: tasks[0].ID, From: 0, To: 1, NewFlag: NaNFlag()},
+		}
+	})
+	e, _ := New(ringConfig(p, [][]float64{{2, 3}, {}, {}, {}}))
+	e.Run(1)
+	s := e.State()
+	if got := s.Queue(1).Tasks(); len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("lowest task id must win the link, delivered %v", got)
+	}
+	if s.Counters().Rejected != 1 {
+		t.Fatalf("the higher-id claim must be rejected, got %d", s.Counters().Rejected)
+	}
+}
+
 func TestOneTransferPerLinkPerTick(t *testing.T) {
 	// Both node 0 and node 1 try to send across the same link on tick 0.
 	p := policyFunc(func(v int, view *View, r *rng.RNG) []Move {
@@ -416,6 +444,53 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// Arrival batches past the fan-out threshold take the sharded injection
+// path on parallel engines; it must be bit-identical to the sequential
+// inline loop (same task ids, same per-queue insertion order, same
+// Injected accounting), including out-of-range and non-positive arrivals.
+func TestLargeArrivalBatchParallelIdentical(t *testing.T) {
+	arr := func(tick int64, r *rng.RNG) []Arrival {
+		out := make([]Arrival, 0, 3*arrivalFanOut)
+		for i := 0; i < 3*arrivalFanOut; i++ {
+			a := Arrival{Node: int((tick*7 + int64(i)*13) % 40), Load: 0.25 + float64(i%8)/8}
+			if i%17 == 0 {
+				a.Node = 99 // out of range, skipped
+			}
+			if i%23 == 0 {
+				a.Load = 0 // non-positive, skipped
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	run := func(workers int) ([]float64, Counters) {
+		e, err := New(Config{
+			Graph:       topology.NewTorus(5, 8),
+			Policy:      greedyPolicy{},
+			Seed:        6,
+			Arrivals:    arr,
+			ServiceRate: 0.5,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		e.Run(60)
+		return e.State().Loads(), e.State().Counters()
+	}
+	seqLoads, seqC := run(1)
+	parLoads, parC := run(8)
+	if seqC != parC {
+		t.Fatalf("large-batch counters diverge:\nseq: %+v\npar: %+v", seqC, parC)
+	}
+	for v := range seqLoads {
+		if seqLoads[v] != parLoads[v] {
+			t.Fatalf("large-batch load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+		}
+	}
+}
+
 func TestSpeedsValidation(t *testing.T) {
 	g := topology.NewRing(4)
 	if _, err := New(Config{Graph: g, Policy: nopPolicy{}, Speeds: []float64{1, 2}}); err == nil {
@@ -561,7 +636,7 @@ func TestWorkerPoolPersistsAndCloses(t *testing.T) {
 }
 
 // buildDroppedEngine creates, runs and drops a parallel engine without
-// calling Close, attaching a probe finalizer. Deliberately not inlinable so
+// calling Close, attaching a probe cleanup. Deliberately not inlinable so
 // the engine cannot be pinned by a live stack slot of the caller.
 //
 //go:noinline
@@ -574,14 +649,16 @@ func buildDroppedEngine(t *testing.T, fired chan struct{}) {
 		t.Fatal(err)
 	}
 	e.Run(10)
-	runtime.SetFinalizer(e, nil) // replace the pool finalizer with the probe
-	runtime.SetFinalizer(e, func(e *Engine) { e.Close(); close(fired) })
+	runtime.AddCleanup(e, func(ch chan struct{}) { close(ch) }, fired)
 }
 
-// A parallel engine dropped without Close must be reclaimable: nothing may
-// keep it reachable (idle workers hold only inert job shells, and the engine
-// stores no closure over itself — an object in a reference cycle never gets
-// its finalizer run).
+// A parallel engine dropped without Close must be reclaimable: no live
+// goroutine may keep it reachable (idle workers hold only inert job shells
+// between ticks). The engine's internal self-closures are fine — unlike the
+// old SetFinalizer scheme, runtime.AddCleanup tolerates reference cycles
+// through the object — but a worker retaining a populated fanJob would still
+// pin it, which is exactly what this test would catch. When the engine goes,
+// its own cleanup closes the pool; the probe cleanup reports the collection.
 func TestDroppedParallelEngineIsFinalized(t *testing.T) {
 	fired := make(chan struct{})
 	buildDroppedEngine(t, fired)
@@ -593,5 +670,5 @@ func TestDroppedParallelEngineIsFinalized(t *testing.T) {
 		case <-time.After(10 * time.Millisecond):
 		}
 	}
-	t.Fatal("dropped engine was never finalized: something still references it")
+	t.Fatal("dropped engine was never cleaned up: something still references it")
 }

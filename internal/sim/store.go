@@ -1,0 +1,102 @@
+package sim
+
+import "pplb/internal/taskmodel"
+
+// numShards is the fixed shard count of the tick pipeline. Nodes are
+// partitioned into numShards contiguous ranges and every per-node mutation of
+// a tick phase (queue adds/removals, service, transfer delivery) happens on
+// the shard that owns the node, so phases fan out across shards without
+// locks. The count is a constant — never derived from Config.Workers — so the
+// decomposition, and with it every float-reduction order, is identical for
+// the sequential and the parallel engine: that is what makes Workers=1 and
+// Workers=8 bit-identical by construction.
+const numShards = 16
+
+// transferRec is one transfer being handed between shards: a move applied by
+// a source-node shard becoming a transfer owned by the destination-node
+// shard, or a faulted transfer bouncing back towards its sender. Records are
+// buffered in per-shard outboxes and committed in canonical shard order.
+type transferRec struct {
+	task      *taskmodel.Task
+	from, to  int32
+	edge      int32
+	remaining int32
+	bounce    bool
+	moving    bool
+}
+
+// transferShard is a struct-of-arrays store of the transfers in flight
+// towards the nodes this shard owns. The parallel arrays replace the old
+// []*Transfer pointer shells + freelist: advancement walks flat int32/bool
+// lanes instead of chasing heap pointers, and compaction is an in-place
+// two-finger sweep with no per-transfer allocation at all.
+type transferShard struct {
+	task      []*taskmodel.Task
+	from      []int32
+	to        []int32
+	edge      []int32
+	remaining []int32
+	bounce    []bool
+	moving    []bool
+}
+
+func (t *transferShard) len() int { return len(t.task) }
+
+// push appends a committed record.
+func (t *transferShard) push(r transferRec) {
+	t.task = append(t.task, r.task)
+	t.from = append(t.from, r.from)
+	t.to = append(t.to, r.to)
+	t.edge = append(t.edge, r.edge)
+	t.remaining = append(t.remaining, r.remaining)
+	t.bounce = append(t.bounce, r.bounce)
+	t.moving = append(t.moving, r.moving)
+}
+
+// keepAt moves the surviving transfer at index i to slot w (w <= i) with the
+// decremented remaining latency — the compaction step of advancement.
+func (t *transferShard) keepAt(w, i int, rem int32) {
+	t.task[w] = t.task[i]
+	t.from[w] = t.from[i]
+	t.to[w] = t.to[i]
+	t.edge[w] = t.edge[i]
+	t.remaining[w] = rem
+	t.bounce[w] = t.bounce[i]
+	t.moving[w] = t.moving[i]
+}
+
+// truncate drops everything past the first n slots, zeroing the task lane so
+// resolved transfers do not pin delivered tasks.
+func (t *transferShard) truncate(n int) {
+	for i := n; i < len(t.task); i++ {
+		t.task[i] = nil
+	}
+	t.task = t.task[:n]
+	t.from = t.from[:n]
+	t.to = t.to[:n]
+	t.edge = t.edge[:n]
+	t.remaining = t.remaining[:n]
+	t.bounce = t.bounce[:n]
+	t.moving = t.moving[:n]
+}
+
+// shardPart is the per-shard per-tick scratch of the pipeline: outboxes of
+// transfers to hand to other shards, and partial reductions (counters,
+// in-flight load delta, inertia arrivals, service completions) that the
+// engine folds into the global state in ascending shard order, so float sums
+// are bit-stable no matter which worker ran which shard.
+type shardPart struct {
+	out       [numShards][]transferRec
+	outMask   uint32 // bit j set when out[j] is non-empty (numShards <= 32)
+	counters  Counters
+	inflightD float64
+	active    []int32           // owned nodes with surviving claims this tick
+	moving    []*taskmodel.Task // delivered with inertia this tick
+	done      []*taskmodel.Task // completed by service this tick
+
+	// dirty marks a partial some phase wrote this tick; reduce skips clean
+	// ones. Skipping is float-exact — folding an untouched partial would
+	// only ever add integer zeros and +0.0 — so the flag is pure overhead
+	// control, never a determinism hazard, and may be set conservatively.
+	dirty bool
+}

@@ -45,11 +45,18 @@ type Task struct {
 	Hops  int   // number of link traversals so far
 	Birth int64 // tick at which the task entered the system
 	Done  int64 // tick at which the task finished service (-1 while live)
+
+	// MovedTick is the tick at which the task last departed a node (-1 if it
+	// never moved). Engine bookkeeping: the inertia settle rule ("a task that
+	// did not continue its slide comes to rest") needs to know whether a task
+	// moved in the current tick, and a per-task stamp is writable from the
+	// parallel apply fan-out without any shared set.
+	MovedTick int64
 }
 
 // New returns a stationary task with the given id, load and origin.
 func New(id ID, load float64, origin int, birth int64) *Task {
-	return &Task{ID: id, Load: load, Origin: origin, Prev: -1, Birth: birth, Done: -1}
+	return &Task{ID: id, Load: load, Origin: origin, Prev: -1, Birth: birth, Done: -1, MovedTick: -1}
 }
 
 // Clone returns an independent copy of the task.
@@ -418,7 +425,16 @@ func (q *Queue) ByLoadDesc() []*Task {
 // tasks and the load actually consumed. Partial consumption reduces a task's
 // remaining load in place. This models node service capacity in the
 // non-quiescent experiments.
-func (q *Queue) ConsumeService(amount float64, now int64) (done []*Task, consumed float64) {
+func (q *Queue) ConsumeService(amount float64, now int64) ([]*Task, float64) {
+	return q.ConsumeServiceInto(amount, now, nil)
+}
+
+// ConsumeServiceInto is ConsumeService appending completed tasks to done
+// (which may be nil or a reused batch buffer) instead of allocating a fresh
+// slice — the batch form the engine's sharded service phase uses to stay
+// allocation-free while draining a whole shard of queues into one buffer.
+func (q *Queue) ConsumeServiceInto(amount float64, now int64, done []*Task) ([]*Task, float64) {
+	consumed := 0.0
 	for amount > 0 && q.head < len(q.buf) {
 		t := q.buf[q.head]
 		if t.Load <= amount {

@@ -346,3 +346,45 @@ func TestQueueInterleavedOps(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", q.Len(), len(want))
 	}
 }
+
+// ConsumeServiceInto is the batch form of ConsumeService: it must append
+// completions to the caller's reused buffer (no allocation once warm) and
+// agree with the allocating form exactly.
+func TestQueueConsumeServiceInto(t *testing.T) {
+	var q Queue
+	for i := 0; i < 4; i++ {
+		q.Add(New(ID(i), 1, 0, 0))
+	}
+	buf := make([]*Task, 0, 8)
+	buf = append(buf, New(ID(100), 1, 0, 0)) // pre-existing entries survive
+	done, consumed := q.ConsumeServiceInto(2.5, 9, buf)
+	if consumed != 2.5 {
+		t.Fatalf("consumed = %v, want 2.5", consumed)
+	}
+	if len(done) != 3 || done[0].ID != 100 || done[1].ID != 0 || done[2].ID != 1 {
+		t.Fatalf("done = %v, want [100 0 1] appended in FIFO order", done)
+	}
+	if done[1].Done != 9 || done[2].Done != 9 {
+		t.Fatal("completed tasks must be stamped with the service tick")
+	}
+	if q.Len() != 2 || q.Total() != 1.5 {
+		t.Fatalf("queue after partial service: len=%d total=%v, want 2, 1.5", q.Len(), q.Total())
+	}
+	// The nil-buffer form is the original ConsumeService.
+	done2, consumed2 := q.ConsumeService(10, 11)
+	if consumed2 != 1.5 || len(done2) != 2 {
+		t.Fatalf("ConsumeService drain: done=%d consumed=%v", len(done2), consumed2)
+	}
+}
+
+// MovedTick starts unset and is engine-owned bookkeeping; Clone must carry it.
+func TestTaskMovedTick(t *testing.T) {
+	task := New(1, 2, 3, 4)
+	if task.MovedTick != -1 {
+		t.Fatalf("fresh task MovedTick = %d, want -1", task.MovedTick)
+	}
+	task.MovedTick = 17
+	if c := task.Clone(); c.MovedTick != 17 {
+		t.Fatalf("clone dropped MovedTick: %d", c.MovedTick)
+	}
+}

@@ -97,6 +97,90 @@ func TestWorkersBitIdentity500Ticks(t *testing.T) {
 	}
 }
 
+// Link faults and the parallel pipeline together: transfers faulting with
+// DeliveryFailureProb > 0 draw from the per-transfer (task, tick)-keyed
+// fault streams inside the sharded advancement fan-out, and must neither
+// leak load at any tick nor diverge from the sequential engine.
+func TestLoadConservationFaultyParallel(t *testing.T) {
+	run := func(workers int) ([]float64, Counters) {
+		g := Torus(8, 8)
+		worst := 0.0
+		sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+			WithInitial(MultiHotspotLoad(g.N(), 4, 192, 0.5)),
+			WithArrivals(PoissonArrivals(0.05, 0.5, g.N())),
+			WithServiceRate(0.1),
+			WithLinks(Links(g, WithUniformFault(0.15), WithUniformLength(2))),
+			WithSeed(7),
+			WithWorkers(workers),
+			WithObserver(func(s *State) {
+				c := s.Counters()
+				resident := 0.0
+				for v := 0; v < g.N(); v++ {
+					resident += s.Queue(v).Total()
+				}
+				if d := math.Abs(resident + s.InFlightLoad() + c.Consumed - c.Injected); d > worst {
+					worst = d
+				}
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Run(400)
+		if worst > 1e-6 {
+			t.Fatalf("workers=%d: load leak under faults: worst imbalance %g", workers, worst)
+		}
+		if sys.Counters().Faults == 0 {
+			t.Fatalf("workers=%d: no faults at p=0.15 — fault path not exercised", workers)
+		}
+		return sys.Loads(), sys.Counters()
+	}
+	seqLoads, seqC := run(1)
+	parLoads, parC := run(8)
+	if seqC != parC {
+		t.Fatalf("faulty counters diverge:\nseq: %+v\npar: %+v", seqC, parC)
+	}
+	for v := range seqLoads {
+		if seqLoads[v] != parLoads[v] {
+			t.Fatalf("faulty load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+		}
+	}
+}
+
+// The production-scale determinism pin: the Torus16384 bench scenario and
+// its Workers=1 twin must stay bit-identical (counters and every node load)
+// over a 500-tick run. This is the contract that lets BENCH_PR2.json compare
+// the two as measurements of the same computation.
+func TestTorus16384BitIdentity500Ticks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-node 500-tick run is too slow for -short")
+	}
+	run := func(name string) ([]float64, Counters) {
+		sc := tickBenchScenario(name)
+		if sc == nil {
+			t.Fatalf("scenario %q missing", name)
+		}
+		sys, err := sc.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Run(500)
+		return sys.Loads(), sys.Counters()
+	}
+	parLoads, parC := run("TickPPLBTorus16384")
+	seqLoads, seqC := run("TickPPLBTorus16384W1")
+	if seqC != parC {
+		t.Fatalf("counters diverge at 16384 nodes:\nseq: %+v\npar: %+v", seqC, parC)
+	}
+	for v := range seqLoads {
+		if seqLoads[v] != parLoads[v] {
+			t.Fatalf("load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+		}
+	}
+}
+
 // InFlightTo is maintained incrementally; cross-check it against a direct
 // scan reconstruction from conservation: what left a node and has not
 // arrived anywhere must equal the total in-flight load.
