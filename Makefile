@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-json experiments
+.PHONY: all build test vet fmt-check check bench bench-json experiments \
+	harness-smoke fuzz soak clean
 
 all: build
 
@@ -37,3 +38,28 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/pplb-bench -benchjson bench.json
+
+# Scenario-fuzzing harness (see internal/harness and the README's
+# "Testing & fuzzing" section). harness-smoke is the fast merge-gate soak;
+# fuzz and soak are the longer local/nightly variants.
+FUZZTIME ?= 60s
+SOAK ?= 5000
+
+harness-smoke:
+	$(GO) test -short -count=1 -run TestHarnessSmoke ./internal/harness -v
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME) ./internal/harness
+
+# The artifact dir must be absolute: `go test ./internal/harness` runs the
+# test binary with the package directory as its working directory, so a
+# relative path would land the replays in internal/harness/ instead of here.
+soak:
+	PPLB_HARNESS_SOAK_COUNT=$(SOAK) PPLB_HARNESS_ARTIFACT_DIR=$(CURDIR)/harness-artifacts \
+		$(GO) test -count=1 -run TestHarnessSoak -timeout 60m ./internal/harness -v
+
+# Remove build/test artifacts: compiled test binaries (go test -c output),
+# generated JSON records, and harness replay artifacts.
+clean:
+	rm -f *.test */*.test */*/*.test checks.json bench.json
+	rm -rf harness-artifacts internal/harness/harness-artifacts

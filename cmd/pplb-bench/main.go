@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -117,7 +118,7 @@ func loadBaseline(path string) (map[string]float64, error) {
 	return out, nil
 }
 
-func runBenchJSON(path, baseline string) error {
+func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, stdout io.Writer) error {
 	// Resolve the baseline before touching the output: recording straight
 	// into the next BENCH_PR*.json must neither pick the (about to be
 	// truncated) output as its own baseline nor destroy an existing record
@@ -160,7 +161,7 @@ func runBenchJSON(path, baseline string) error {
 	// benchmarks, so -benchjson numbers are directly comparable to theirs;
 	// entries carry the full Benchmark* name so trajectory diffs across PRs
 	// stay greppable.
-	for _, bm := range pplb.TickBenchScenarios() {
+	for _, bm := range scenarios {
 		sys, err := bm.New()
 		if err != nil {
 			f.Close()
@@ -189,7 +190,7 @@ func runBenchJSON(path, baseline string) error {
 			delta = fmt.Sprintf("  %+.1f%% vs %s", d, rec.Baseline)
 		}
 		rec.Benchmarks = append(rec.Benchmarks, entry)
-		fmt.Printf("%-32s %12.0f ns/op %8d B/op %6d allocs/op%s\n",
+		fmt.Fprintf(stdout, "%-32s %12.0f ns/op %8d B/op %6d allocs/op%s\n",
 			name, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp, delta)
 	}
 	enc := json.NewEncoder(f)
@@ -208,47 +209,60 @@ func runBenchJSON(path, baseline string) error {
 }
 
 func main() {
-	full := flag.Bool("full", false, "run the paper-scale (slow) variants")
-	out := flag.String("out", "", "also write the reports to this file")
-	checksPath := flag.String("checks", "", "write a machine-readable JSON summary of all checks to this file")
-	benchJSON := flag.String("benchjson", "", "run the engine tick micro-benchmarks and write a machine-readable record to this file")
-	baseline := flag.String("baseline", "", "trajectory BENCH_*.json to diff -benchjson results against (default: highest BENCH_PR*.json in the working directory; \"none\" disables)")
-	list := flag.Bool("list", false, "list available experiments and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [-baseline FILE] [experiment ...]\n\nexperiments:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable face: flags in, exit code out
+// (0 ok, 1 failed checks or I/O errors, 2 usage errors).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pplb-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "run the paper-scale (slow) variants")
+	out := fs.String("out", "", "also write the reports to this file")
+	checksPath := fs.String("checks", "", "write a machine-readable JSON summary of all checks to this file")
+	benchJSON := fs.String("benchjson", "", "run the engine tick micro-benchmarks and write a machine-readable record to this file")
+	baseline := fs.String("baseline", "", "trajectory BENCH_*.json to diff -benchjson results against (default: highest BENCH_PR*.json in the working directory; \"none\" disables)")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [-baseline FILE] [experiment ...]\n\nexperiments:\n")
 		for _, d := range pplb.ExperimentDescriptions() {
-			fmt.Fprintf(os.Stderr, "  %s\n", d)
+			fmt.Fprintf(stderr, "  %s\n", d)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h prints usage and succeeds, as under flag.ExitOnError
+		}
+		return 2
+	}
 
 	if *list {
 		for _, d := range pplb.ExperimentDescriptions() {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
-		return
+		return 0
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *baseline); err != nil {
-			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
-			os.Exit(1)
+		if err := runBenchJSON(*benchJSON, *baseline, pplb.TickBenchScenarios(), stdout); err != nil {
+			fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	var w io.Writer = os.Stdout
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+			return 1
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		w = io.MultiWriter(stdout, f)
 	}
 
-	names := flag.Args()
+	names := fs.Args()
 	if len(names) == 0 {
 		names = pplb.ExperimentIDs()
 	}
@@ -263,8 +277,8 @@ func main() {
 	for _, name := range names {
 		r := pplb.RunExperiment(name, *full)
 		if r == nil {
-			fmt.Fprintf(os.Stderr, "pplb-bench: unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "pplb-bench: unknown experiment %q (try -list)\n", name)
+			return 2
 		}
 		r.Render(w)
 		for _, c := range r.Checks {
@@ -272,24 +286,26 @@ func main() {
 		}
 		if !r.AllPassed() {
 			failed++
-			fmt.Fprintf(os.Stderr, "pplb-bench: %s failed checks: %v\n", r.ID, r.FailedChecks())
+			fmt.Fprintf(stderr, "pplb-bench: %s failed checks: %v\n", r.ID, r.FailedChecks())
 		}
 	}
 	if *checksPath != "" {
 		f, err := os.Create(*checksPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+			return 1
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(allChecks); err != nil {
-			fmt.Fprintf(os.Stderr, "pplb-bench: %v\n", err)
-			os.Exit(1)
+			f.Close()
+			fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+			return 1
 		}
 		f.Close()
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pplb"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"E1", "E14", "compare"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogusflag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"E999"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown experiment: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("missing diagnostic:\n%s", errb.String())
+	}
+}
+
+// TestRunTinyExperiment runs the quickest registered experiment end to end
+// with -checks and -out, and validates both output files.
+func TestRunTinyExperiment(t *testing.T) {
+	dir := t.TempDir()
+	checks := filepath.Join(dir, "checks.json")
+	outFile := filepath.Join(dir, "report.txt")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", checks, "-out", outFile, "E1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	data, err := os.ReadFile(checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []struct {
+		Experiment string `json:"experiment"`
+		Check      string `json:"check"`
+		Pass       bool   `json:"pass"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("checks file: %v", err)
+	}
+	if len(parsed) == 0 {
+		t.Fatal("no checks recorded")
+	}
+	for _, c := range parsed {
+		if c.Experiment != "E1" {
+			t.Fatalf("check from wrong experiment: %+v", c)
+		}
+		if !c.Pass {
+			t.Fatalf("E1 check failed: %+v", c)
+		}
+	}
+	if report, err := os.ReadFile(outFile); err != nil || len(report) == 0 {
+		t.Fatalf("-out report missing or empty (err=%v)", err)
+	}
+}
+
+// tinyScenario is a fast stand-in for the production scenario table so the
+// -benchjson path is testable without multi-minute benchmark runs.
+func tinyScenario(name string) pplb.TickBenchScenario {
+	return pplb.TickBenchScenario{
+		Name: name,
+		New: func() (*pplb.System, error) {
+			g := pplb.Ring(4)
+			return pplb.NewSystem(g, pplb.NoPolicy(),
+				pplb.WithInitial(pplb.EqualLoad(g.N(), 1, 0.5)),
+				pplb.WithSeed(1),
+				pplb.WithMetricsEvery(1<<30),
+			)
+		},
+	}
+}
+
+// TestBenchJSONDelta exercises the -benchjson record/delta path against a
+// fabricated baseline trajectory file.
+func TestBenchJSONDelta(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_PR0.json")
+	// The baseline carries one matching benchmark (delta expected) and one
+	// unrelated name (no delta for the scenario it doesn't cover).
+	if err := os.WriteFile(baseline, []byte(`{
+  "benchmarks": [
+    {"name": "BenchmarkTickTiny", "after": {"ns_per_op": 1000}},
+    {"name": "BenchmarkSomethingElse", "after": {"ns_per_op": 5}}
+  ]
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "bench.json")
+	var stdout bytes.Buffer
+	scenarios := []pplb.TickBenchScenario{tinyScenario("TickTiny"), tinyScenario("TickTinyUnbaselined")}
+	if err := runBenchJSON(outPath, baseline, scenarios, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != "pplb-bench/2" {
+		t.Fatalf("schema %q", rec.Schema)
+	}
+	if rec.Baseline != baseline {
+		t.Fatalf("baseline %q, want %q", rec.Baseline, baseline)
+	}
+	if len(rec.Benchmarks) != 2 {
+		t.Fatalf("%d benchmarks recorded, want 2", len(rec.Benchmarks))
+	}
+	covered, uncovered := rec.Benchmarks[0], rec.Benchmarks[1]
+	if covered.Name != "BenchmarkTickTiny" || covered.NsPerOp <= 0 || covered.Iterations <= 0 {
+		t.Fatalf("bad entry: %+v", covered)
+	}
+	if covered.DeltaNsPct == nil {
+		t.Fatal("baselined benchmark has no delta")
+	}
+	if uncovered.DeltaNsPct != nil {
+		t.Fatalf("unbaselined benchmark got delta %v", *uncovered.DeltaNsPct)
+	}
+	if !strings.Contains(stdout.String(), "% vs "+baseline) {
+		t.Fatalf("delta not printed:\n%s", stdout.String())
+	}
+}
+
+// TestBenchJSONBaselineErrors pins the error contract: an explicit missing
+// baseline fails, a missing auto-discovered one is ignored.
+func TestBenchJSONBaselineErrors(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var stdout bytes.Buffer
+	err := runBenchJSON(outPath, filepath.Join(dir, "missing.json"),
+		[]pplb.TickBenchScenario{tinyScenario("TickTiny")}, &stdout)
+	if err == nil {
+		t.Fatal("explicit missing baseline must error")
+	}
+	if _, statErr := os.Stat(outPath); !os.IsNotExist(statErr) {
+		t.Fatal("failed run left a truncated record behind")
+	}
+	// "none" disables the delta section entirely.
+	if err := runBenchJSON(outPath, "none",
+		[]pplb.TickBenchScenario{tinyScenario("TickTiny")}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	data, _ := os.ReadFile(outPath)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Baseline != "" || rec.Benchmarks[0].DeltaNsPct != nil {
+		t.Fatalf("baseline \"none\" still produced deltas: %+v", rec)
+	}
+}
+
+func TestFindBaseline(t *testing.T) {
+	dir := t.TempDir()
+	t.Chdir(dir)
+	if got := findBaseline(); got != "" {
+		t.Fatalf("empty dir found baseline %q", got)
+	}
+	for _, name := range []string{"BENCH_PR1.json", "BENCH_PR10.json", "BENCH_PR2.json"} {
+		if err := os.WriteFile(name, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := findBaseline(); got != "BENCH_PR10.json" {
+		t.Fatalf("found %q, want BENCH_PR10.json", got)
+	}
+}
+
+func TestSameFile(t *testing.T) {
+	same, err := sameFile("a/b.json", "./a/b.json")
+	if err != nil || !same {
+		t.Fatalf("cleaned paths not recognised as same (%v, %v)", same, err)
+	}
+	same, err = sameFile("a.json", "b.json")
+	if err != nil || same {
+		t.Fatalf("distinct paths reported same (%v, %v)", same, err)
+	}
+	if same, _ := sameFile("", "b.json"); same {
+		t.Fatal("empty path cannot collide")
+	}
+}

@@ -1,0 +1,115 @@
+// Command pplb-fuzz drives the seeded scenario-fuzzing harness outside of
+// `go test`: long soaks for nightly jobs and developer machines, and
+// standalone replay of recorded failure artifacts.
+//
+// Usage:
+//
+//	pplb-fuzz [-n 1000] [-seed 1] [-artifacts DIR] [-q]   # soak
+//	pplb-fuzz -replay FILE                                # reproduce a failure
+//
+// A soak runs n generated scenarios (each with its Workers=1 twin
+// bit-identity check); every failure is shrunk and, with -artifacts,
+// written as a JSON replay artifact. Exit status: 0 clean, 1 violations
+// found (or a replay that no longer reproduces), 2 usage errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pplb/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pplb-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 1000, "number of scenarios to soak")
+	seed := fs.Uint64("seed", 1, "base seed the scenario seeds are split from")
+	artifacts := fs.String("artifacts", "", "directory for shrunk replay artifacts of failures")
+	replay := fs.String("replay", "", "replay this failure artifact instead of soaking")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h prints usage and succeeds, as under flag.ExitOnError
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pplb-fuzz: unexpected arguments %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	if *replay != "" {
+		return runReplay(*replay, stdout, stderr)
+	}
+	return runSoak(*n, *seed, *artifacts, *quiet, stdout, stderr)
+}
+
+func runReplay(path string, stdout, stderr io.Writer) int {
+	a, err := harness.LoadArtifact(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "replaying %s\nscenario: %s\nrecorded: %s\n", path, a.Scenario, &a.Violation)
+	out, ok := harness.Replay(a)
+	switch {
+	case ok:
+		fmt.Fprintf(stdout, "violation reproduced bit-identically\n")
+		return 0
+	case out.Violation != nil:
+		fmt.Fprintf(stderr, "pplb-fuzz: reproduced a DIFFERENT violation: %s\n", out.Violation)
+		return 1
+	default:
+		fmt.Fprintf(stderr, "pplb-fuzz: violation did not reproduce (run passed)\n")
+		return 1
+	}
+}
+
+func runSoak(n int, seed uint64, artifacts string, quiet bool, stdout, stderr io.Writer) int {
+	cfg := harness.SoakConfig{
+		BaseSeed:    seed,
+		Count:       n,
+		ArtifactDir: artifacts,
+	}
+	if !quiet {
+		cfg.Progress = func(done, total int) {
+			if done%500 == 0 || done == total {
+				fmt.Fprintf(stdout, "%d/%d scenarios\n", done, total)
+			}
+		}
+	}
+	res, err := harness.Soak(cfg)
+	if err != nil {
+		// Keep going: the error (e.g. an unwritable artifact dir) must not
+		// hide violations the soak already found.
+		fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+	}
+	fmt.Fprintf(stdout, "soak: %d scenarios from seed %#x, %d families, %d policies\n",
+		res.Ran, seed, len(res.Families), len(res.Policies))
+	if !quiet {
+		for fam, c := range res.Families {
+			fmt.Fprintf(stdout, "  family %-10s %d\n", fam, c)
+		}
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(stderr, "pplb-fuzz: FAIL %s\n", f)
+	}
+	switch {
+	case len(res.Failures) > 0:
+		return 1
+	case err != nil:
+		return 2
+	default:
+		fmt.Fprintf(stdout, "no invariant violations\n")
+		return 0
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pplb/internal/harness"
+)
+
+func TestTinySoak(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "8", "-seed", "3", "-q"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "soak: 8 scenarios") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no invariant violations") {
+		t.Fatalf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errb); code != 2 {
+		t.Fatalf("stray arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-n", "0"}, &out, &errb); code != 2 {
+		t.Fatalf("zero count: exit %d, want 2", code)
+	}
+	if code := run([]string{"-replay", "/does/not/exist.json"}, &out, &errb); code != 2 {
+		t.Fatalf("missing artifact: exit %d, want 2", code)
+	}
+}
+
+// TestReplayRoundTrip drives the whole failure pipeline through the CLI: a
+// spec with the injected conservation leak fails, shrinks, round-trips
+// through an artifact file, and -replay confirms bit-identical reproduction.
+func TestReplayRoundTrip(t *testing.T) {
+	var spec harness.Spec
+	found := false
+	for seed := uint64(1); seed < 64 && !found; seed++ {
+		spec = harness.Spec{Seed: seed, Tweaks: harness.Tweaks{LeakEvery: 2}}
+		found = harness.Run(spec).Violation != nil
+	}
+	if !found {
+		t.Fatal("no seed triggered the injected leak")
+	}
+	shrunk, v := harness.Shrink(spec)
+	path := filepath.Join(t.TempDir(), "replay.json")
+	if err := harness.NewArtifact(shrunk, v).Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", path}, &out, &errb); code != 0 {
+		t.Fatalf("replay exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "violation reproduced bit-identically") {
+		t.Fatalf("replay did not confirm reproduction:\n%s", out.String())
+	}
+}

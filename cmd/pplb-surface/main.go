@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,56 +22,83 @@ import (
 	"pplb/internal/surface"
 )
 
-func main() {
-	topoFlag := flag.String("topology", "torus:16x16", "mesh:RxC or torus:RxC")
-	policyFlag := flag.String("policy", "pplb", "pplb|diffusion|dimexchange|gm|cwn|random|none")
-	tasks := flag.Int("tasks", 512, "initial tasks at the hotspot")
-	ticks := flag.Int("ticks", 600, "total simulation ticks")
-	frames := flag.Int("frames", 8, "number of heatmap frames to print")
-	seed := flag.Uint64("seed", 1, "run seed")
-	flag.Parse()
+// parseGridTopology parses the mesh:RxC / torus:RxC specs this renderer is
+// restricted to (only grids have a 2-D heatmap layout), returning the graph
+// together with its grid dimensions.
+func parseGridTopology(spec string) (g *pplb.Graph, rows, cols int, err error) {
+	var mk func(int, int) *pplb.Graph
+	switch {
+	case strings.HasPrefix(spec, "mesh:"):
+		mk = pplb.Mesh
+		if _, err := fmt.Sscanf(spec, "mesh:%dx%d", &rows, &cols); err != nil {
+			return nil, 0, 0, fmt.Errorf("bad topology %q", spec)
+		}
+	case strings.HasPrefix(spec, "torus:"):
+		mk = pplb.Torus
+		if _, err := fmt.Sscanf(spec, "torus:%dx%d", &rows, &cols); err != nil {
+			return nil, 0, 0, fmt.Errorf("bad topology %q", spec)
+		}
+	default:
+		return nil, 0, 0, fmt.Errorf("surface rendering needs a mesh or torus, got %q", spec)
+	}
+	if rows < 1 || cols < 1 {
+		return nil, 0, 0, fmt.Errorf("bad dimensions in %q", spec)
+	}
+	return mk(rows, cols), rows, cols, nil
+}
 
-	fail := func(err error) {
+// parsePolicy builds the named policy for g.
+func parsePolicy(name string, g *pplb.Graph) (pplb.Policy, error) {
+	switch name {
+	case "pplb":
+		return pplb.NewBalancer(pplb.DefaultBalancerConfig()), nil
+	case "diffusion":
+		return pplb.DiffusionPolicy(0), nil
+	case "dimexchange":
+		return pplb.DimensionExchangePolicy(g), nil
+	case "gm":
+		return pplb.GradientModelPolicy(), nil
+	case "cwn":
+		return pplb.CWNPolicy(0), nil
+	case "random":
+		return pplb.RandomSenderPolicy(), nil
+	case "none":
+		return pplb.NoPolicy(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "pplb-surface: %v\n", err)
 		os.Exit(1)
 	}
+}
 
-	var rows, cols int
-	var mk func(int, int) *pplb.Graph
-	switch {
-	case strings.HasPrefix(*topoFlag, "mesh:"):
-		mk = pplb.Mesh
-		if _, err := fmt.Sscanf(*topoFlag, "mesh:%dx%d", &rows, &cols); err != nil {
-			fail(fmt.Errorf("bad topology %q", *topoFlag))
+// run is the whole command behind a testable face.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pplb-surface", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	topoFlag := fs.String("topology", "torus:16x16", "mesh:RxC or torus:RxC")
+	policyFlag := fs.String("policy", "pplb", "pplb|diffusion|dimexchange|gm|cwn|random|none")
+	tasks := fs.Int("tasks", 512, "initial tasks at the hotspot")
+	ticks := fs.Int("ticks", 600, "total simulation ticks")
+	frames := fs.Int("frames", 8, "number of heatmap frames to print")
+	seed := fs.Uint64("seed", 1, "run seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and succeeds, as under flag.ExitOnError
 		}
-	case strings.HasPrefix(*topoFlag, "torus:"):
-		mk = pplb.Torus
-		if _, err := fmt.Sscanf(*topoFlag, "torus:%dx%d", &rows, &cols); err != nil {
-			fail(fmt.Errorf("bad topology %q", *topoFlag))
-		}
-	default:
-		fail(fmt.Errorf("surface rendering needs a mesh or torus, got %q", *topoFlag))
+		return err
 	}
-	g := mk(rows, cols)
 
-	var policy pplb.Policy
-	switch *policyFlag {
-	case "pplb":
-		policy = pplb.NewBalancer(pplb.DefaultBalancerConfig())
-	case "diffusion":
-		policy = pplb.DiffusionPolicy(0)
-	case "dimexchange":
-		policy = pplb.DimensionExchangePolicy(g)
-	case "gm":
-		policy = pplb.GradientModelPolicy()
-	case "cwn":
-		policy = pplb.CWNPolicy(0)
-	case "random":
-		policy = pplb.RandomSenderPolicy()
-	case "none":
-		policy = pplb.NoPolicy()
-	default:
-		fail(fmt.Errorf("unknown policy %q", *policyFlag))
+	g, rows, cols, err := parseGridTopology(*topoFlag)
+	if err != nil {
+		return err
+	}
+	policy, err := parsePolicy(*policyFlag, g)
+	if err != nil {
+		return err
 	}
 
 	// Hotspot in the middle of the grid.
@@ -79,7 +108,7 @@ func main() {
 		pplb.WithSeed(*seed),
 	)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	if *frames < 1 {
@@ -91,26 +120,31 @@ func main() {
 	}
 	// The M3 manifold view (§4.1): heights laid out on the mesh grid.
 	links := linkmodel.New(g)
-	printFrame := func() {
+	printFrame := func() error {
 		surf := surface.New(g, links, surface.SliceHeights(sys.Heights()))
 		grid, ok := surf.GridHeights()
 		if !ok {
-			fmt.Fprintln(os.Stderr, "pplb-surface: internal error: not a grid topology")
-			os.Exit(1)
+			return fmt.Errorf("internal error: not a grid topology")
 		}
-		ascii.Heatmap(os.Stdout, fmt.Sprintf("tick %d  cv=%.3f", sys.State().Tick(), sys.CV()), grid)
-		fmt.Println()
+		ascii.Heatmap(stdout, fmt.Sprintf("tick %d  cv=%.3f", sys.State().Tick(), sys.CV()), grid)
+		fmt.Fprintln(stdout)
+		return nil
 	}
-	printFrame()
+	if err := printFrame(); err != nil {
+		return err
+	}
 	for done := 0; done < *ticks; done += step {
 		n := step
 		if done+n > *ticks {
 			n = *ticks - done
 		}
 		sys.Run(n)
-		printFrame()
+		if err := printFrame(); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("final: %s\n", summaryLine(sys))
+	fmt.Fprintf(stdout, "final: %s\n", summaryLine(sys))
+	return nil
 }
 
 func summaryLine(sys *pplb.System) string {

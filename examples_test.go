@@ -1,0 +1,63 @@
+package pplb
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun compiles every program under examples/ and runs
+// each to completion, so example drift breaks the merge gate instead of
+// rotting silently. Every example is a short fixed-size demo (well under a
+// second), so this runs in -short mode too; the timeout only guards
+// against an example regressing into an infinite loop.
+func TestExamplesBuildAndRun(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	matches, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && fi.IsDir() {
+			dirs = append(dirs, m)
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+
+	binDir := t.TempDir()
+	build := exec.Command(goTool, "build", "-o", binDir+string(os.PathSeparator), "./examples/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building examples: %v\n%s", err, out)
+	}
+
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			if _, err := os.Stat(bin); err != nil {
+				t.Fatalf("example %s did not produce a binary: %v", name, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, bin).CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited with %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

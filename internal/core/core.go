@@ -42,6 +42,8 @@ package core
 
 import (
 	"cmp"
+	"fmt"
+	"math"
 	"slices"
 	"sync"
 
@@ -134,6 +136,42 @@ type planScratch struct {
 	hn     []float64         // projected neighbour heights by position
 	used   []bool            // link already claimed this tick, by position
 	cost   []float64         // e_ij per position (fault-aware as configured)
+}
+
+// Validate reports whether the configuration describes a physically sane
+// balancer: every constant finite, frictions and damping non-negative, and
+// EnergyDamping at most 1 (a landing cannot add energy). The scenario fuzzer
+// perturbs configurations and uses this to reject draws that would make a
+// run meaningless rather than buggy; New itself stays permissive for
+// backward compatibility (the zero value is usable).
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: %s is not finite (%v)", name, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("core: %s is negative (%v)", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"G", c.G}, {"CsT", c.CsT}, {"CsR", c.CsR},
+		{"CkProp", c.CkProp}, {"Ck0", c.Ck0}, {"EnergyDamping", c.EnergyDamping},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.EnergyDamping > 1 {
+		return fmt.Errorf("core: EnergyDamping %v exceeds 1", c.EnergyDamping)
+	}
+	if c.MaxMovesPerNode < 0 {
+		return fmt.Errorf("core: negative MaxMovesPerNode %d", c.MaxMovesPerNode)
+	}
+	return nil
 }
 
 // New returns a PPLB balancer with the given configuration.

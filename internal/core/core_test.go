@@ -503,3 +503,24 @@ func BenchmarkPlanNodeTorus(b *testing.B) {
 		e.Step()
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	bad := []Config{
+		{G: math.NaN()},
+		{CsT: math.Inf(1)},
+		{Ck0: -0.1},
+		{EnergyDamping: 1.5},
+		{MaxMovesPerNode: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"pplb/internal/rng"
+)
+
+// FuzzScenario feeds arbitrary seeds through the generator and the full
+// invariant suite (including the Workers=1 twin identity check). The seed
+// corpus is drawn from the generator's own seed-split scheme so `go test`
+// exercises a representative spread even without -fuzz; the nightly job
+// runs it with -fuzz=FuzzScenario -fuzztime=10m.
+func FuzzScenario(f *testing.F) {
+	corpus := rng.New(0xF00D)
+	for i := uint64(0); i < 12; i++ {
+		f.Add(corpus.Split(i).Uint64())
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		spec := Spec{Seed: seed}
+		out := Run(spec)
+		if out.Violation == nil {
+			return
+		}
+		shrunk, v := Shrink(spec)
+		msg := ""
+		if dir := os.Getenv("PPLB_HARNESS_ARTIFACT_DIR"); dir != "" {
+			if path, err := NewArtifact(shrunk, v).Save(dir); err == nil {
+				msg = " | replay " + path
+			} else {
+				msg = " | artifact write failed: " + err.Error()
+			}
+		}
+		t.Fatalf("%s | original %s | shrunk %s%s", v, spec, shrunk, msg)
+	})
+}

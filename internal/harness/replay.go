@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ArtifactSchema versions the replay-artifact JSON format.
+const ArtifactSchema = "pplb-harness-replay/1"
+
+// Artifact is the JSON replay record written when a scenario violates an
+// invariant: the (shrunk) spec that fails, the violation it produced, and a
+// human-readable scenario description. Because generation and the engine
+// are deterministic functions of the spec, the artifact alone reproduces
+// the violation bit-identically in a fresh process:
+//
+//	go test -run TestHarnessReplay ./internal/harness -args -replay=<file>
+type Artifact struct {
+	Schema    string    `json:"schema"`
+	Spec      Spec      `json:"spec"`
+	Violation Violation `json:"violation"`
+	Scenario  string    `json:"scenario"`
+}
+
+// NewArtifact assembles a replay artifact from a shrunk failing spec.
+func NewArtifact(spec Spec, v *Violation) *Artifact {
+	return &Artifact{
+		Schema:    ArtifactSchema,
+		Spec:      spec,
+		Violation: *v,
+		Scenario:  Generate(spec).Desc,
+	}
+}
+
+// Write stores the artifact as indented JSON at path.
+func (a *Artifact) Write(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Save writes the artifact into dir (created if needed) under a name
+// derived from the seed and the violated invariant, returning the path.
+func (a *Artifact) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("replay-%016x-%s.json", a.Spec.Seed, a.Violation.Invariant))
+	return path, a.Write(path)
+}
+
+// LoadArtifact reads and validates a replay artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	if a.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("harness: %s: schema %q, want %q", path, a.Schema, ArtifactSchema)
+	}
+	return &a, nil
+}
+
+// Replay reruns the artifact's spec and reports whether the recorded
+// violation reproduced exactly (same invariant, tick and detail). The
+// outcome carries whatever violation the rerun produced (nil if the run
+// now passes).
+func Replay(a *Artifact) (*Outcome, bool) {
+	out := Run(a.Spec)
+	return out, out.Violation != nil && *out.Violation == a.Violation
+}

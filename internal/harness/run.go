@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+
+	"pplb/internal/sim"
+)
+
+// Outcome is the result of running one spec: the expanded scenario and the
+// first invariant violation, if any (nil = the scenario passed).
+type Outcome struct {
+	Scenario  *Scenario
+	Violation *Violation
+}
+
+// Run expands the spec, builds the primary engine and its Workers=1 twin,
+// steps both in lockstep, and checks the invariant suite plus twin
+// bit-identity every CheckEvery ticks (and always at the final tick). The
+// first violation stops the run.
+//
+// Running the twin unconditionally doubles the cost of every scenario, and
+// that is the point: the determinism contract (Workers=1 ≡ Workers=N) is
+// the invariant most likely to break silently under engine refactors, so
+// every generated scenario doubles as an identity test.
+func Run(spec Spec) *Outcome {
+	sc := Generate(spec)
+	out := &Outcome{Scenario: sc}
+
+	if spec.Tweaks.LeakEvery > 0 {
+		sim.SetConservationLeakForTest(spec.Tweaks.LeakEvery)
+		defer sim.SetConservationLeakForTest(0)
+	}
+
+	primary, err := sim.New(sc.Config(sc.Workers))
+	if err != nil {
+		out.Violation = &Violation{Invariant: "engine-construct", Detail: err.Error()}
+		return out
+	}
+	defer primary.Close()
+	twin, err := sim.New(sc.Config(1))
+	if err != nil {
+		out.Violation = &Violation{Invariant: "engine-construct", Detail: fmt.Sprintf("twin: %v", err)}
+		return out
+	}
+	defer twin.Close()
+
+	invs := StandardInvariants()
+	for tick := 1; tick <= sc.Ticks; tick++ {
+		primary.Step()
+		twin.Step()
+		if tick%sc.CheckEvery != 0 && tick != sc.Ticks {
+			continue
+		}
+		for _, inv := range invs {
+			if detail := inv.Check(primary.State()); detail != "" {
+				out.Violation = &Violation{Invariant: inv.Name(), Tick: int64(tick), Detail: detail}
+				return out
+			}
+		}
+		if v := compareTwin(primary.State(), twin.State(), int64(tick)); v != nil {
+			out.Violation = v
+			return out
+		}
+	}
+	return out
+}
+
+// minShrinkTicks is the floor below which the shrinker stops halving the
+// tick budget.
+const minShrinkTicks = 4
+
+// Shrink minimises a failing spec while preserving failure: first cut the
+// tick budget to the violation tick and keep halving, then demote the
+// topology size rank, then disable faults, arrivals and heterogeneity one
+// at a time, keeping each reduction only if the run still violates some
+// invariant (not necessarily the original one — any violation keeps the
+// counterexample alive). Returns the shrunk spec and its violation; if the
+// input spec does not fail, it is returned unchanged with a nil violation.
+func Shrink(spec Spec) (Spec, *Violation) {
+	out := Run(spec)
+	if out.Violation == nil {
+		return spec, nil
+	}
+	cur, v := spec, out.Violation
+	ticks := out.Scenario.Ticks
+	fingerprint := out.Scenario.Fingerprint
+
+	// adopt keeps a candidate only if it still fails; noop reports a tweak
+	// that would not change the expanded scenario at all (e.g. NoFaults on
+	// a scenario that drew no faults) — running those would waste a full
+	// primary+twin pair and, worse, the adopted tweak would mislead whoever
+	// triages the artifact into thinking the dimension existed.
+	noop := func(cand Spec) bool {
+		return Generate(cand).Fingerprint == fingerprint
+	}
+	adopt := func(cand Spec) bool {
+		if o := Run(cand); o.Violation != nil {
+			cur, v = cand, o.Violation
+			fingerprint = o.Scenario.Fingerprint
+			return true
+		}
+		return false
+	}
+
+	// 1. Ticks: everything past the violation tick is dead weight; then
+	// halve as long as the failure survives.
+	if int(v.Tick) > 0 && int(v.Tick) < ticks {
+		cand := cur
+		cand.Tweaks.Ticks = int(v.Tick)
+		if adopt(cand) {
+			ticks = cand.Tweaks.Ticks
+		}
+	}
+	for ticks/2 >= minShrinkTicks {
+		cand := cur
+		cand.Tweaks.Ticks = ticks / 2
+		if !adopt(cand) {
+			break
+		}
+		ticks /= 2
+	}
+
+	// 2. Nodes: demote the topology size rank towards the family minimum
+	// (a no-op once the rank is clamped at the smallest instance).
+	for i := 0; i < maxSizeRank; i++ {
+		cand := cur
+		cand.Tweaks.SizeShrink++
+		if noop(cand) || !adopt(cand) {
+			break
+		}
+	}
+
+	// 3. Dimensions: disable one scenario feature at a time, skipping
+	// features the scenario never had.
+	for _, disable := range []func(*Tweaks){
+		func(t *Tweaks) { t.NoFaults = true },
+		func(t *Tweaks) { t.NoArrivals = true },
+		func(t *Tweaks) { t.NoHetero = true },
+	} {
+		cand := cur
+		disable(&cand.Tweaks)
+		if !noop(cand) {
+			adopt(cand)
+		}
+	}
+	return cur, v
+}

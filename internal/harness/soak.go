@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"pplb/internal/rng"
+)
+
+// maxSoakFailures bounds how many distinct failures one soak collects
+// before stopping early: past a handful, additional counterexamples are
+// noise on the same bug, and shrinking each one costs many runs.
+const maxSoakFailures = 5
+
+// SoakConfig parameterises a soak: Count scenarios derived from BaseSeed.
+type SoakConfig struct {
+	BaseSeed uint64
+	Count    int
+	// ArtifactDir, when non-empty, receives a shrunk replay artifact per
+	// failure.
+	ArtifactDir string
+	// Progress, when non-nil, is called after every scenario.
+	Progress func(done, total int)
+}
+
+// Failure is one soak counterexample: the original failing spec, the
+// shrunk spec, its violation, and the artifact path (when written).
+type Failure struct {
+	Spec         Spec
+	Shrunk       Spec
+	Violation    *Violation
+	ArtifactPath string
+}
+
+func (f *Failure) String() string {
+	s := fmt.Sprintf("%s | original %s | shrunk %s", f.Violation, f.Spec, f.Shrunk)
+	if f.ArtifactPath != "" {
+		s += " | replay " + f.ArtifactPath
+	}
+	return s
+}
+
+// SoakResult summarises a soak run.
+type SoakResult struct {
+	Ran      int
+	Families map[string]int
+	Policies map[string]int
+	Failures []*Failure
+}
+
+// Soak runs Count generated scenarios (each with its Workers=1 twin
+// identity check), shrinking and recording every failure. Scenario seeds
+// are split from BaseSeed, so a soak is exactly reproducible and any
+// failing seed can be replayed standalone.
+func Soak(cfg SoakConfig) (*SoakResult, error) {
+	res := &SoakResult{
+		Families: make(map[string]int),
+		Policies: make(map[string]int),
+	}
+	if cfg.Count <= 0 {
+		return res, fmt.Errorf("harness: soak count %d", cfg.Count)
+	}
+	base := rng.New(cfg.BaseSeed)
+	for i := 0; i < cfg.Count; i++ {
+		spec := Spec{Seed: base.Split(uint64(i)).Uint64()}
+		out := Run(spec)
+		res.Ran++
+		res.Families[out.Scenario.Family]++
+		res.Policies[out.Scenario.PolicyName]++
+		if out.Violation != nil {
+			shrunk, v := Shrink(spec)
+			f := &Failure{Spec: spec, Shrunk: shrunk, Violation: v}
+			// Record the failure before attempting the artifact write: an
+			// unwritable directory must not hide a found violation.
+			res.Failures = append(res.Failures, f)
+			if cfg.ArtifactDir != "" {
+				path, err := NewArtifact(shrunk, v).Save(cfg.ArtifactDir)
+				if err != nil {
+					return res, fmt.Errorf("harness: writing artifact for %s: %w", spec, err)
+				}
+				f.ArtifactPath = path
+			}
+			if len(res.Failures) >= maxSoakFailures {
+				break
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, cfg.Count)
+		}
+	}
+	return res, nil
+}

@@ -118,6 +118,49 @@ func (r *RNG) Intn(n int) int {
 // Int63 returns a uniform non-negative int64.
 func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
 
+// IntBetween returns a uniform int in [lo, hi] inclusive. It panics when
+// hi < lo. Scenario generators use it for bounded structural draws (sizes,
+// tick counts, periods) where an inclusive range reads more naturally than
+// lo+Intn(hi-lo+1) at every call site.
+func (r *RNG) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntBetween with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to its weight. Non-positive weights are treated as zero; if every weight
+// is zero the choice is uniform. Scenario generators use it to skew draws
+// towards the interesting cases without a ladder of Bernoulli calls.
+func (r *RNG) Pick(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Pick with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	last := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+		last = i
+	}
+	return last // float residue: land on the last positive weight
+}
+
 // Range returns a uniform float64 in [lo, hi).
 func (r *RNG) Range(lo, hi float64) float64 {
 	return lo + (hi-lo)*r.Float64()

@@ -330,3 +330,54 @@ func TestTwoLevelSplitStreams(t *testing.T) {
 		}
 	}
 }
+
+func TestIntBetween(t *testing.T) {
+	r := New(11)
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		v := r.IntBetween(3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("IntBetween(3,9) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 9; v++ {
+		if !seen[v] {
+			t.Fatalf("IntBetween(3,9) never produced %d in 2000 draws", v)
+		}
+	}
+	if got := r.IntBetween(5, 5); got != 5 {
+		t.Fatalf("degenerate IntBetween(5,5) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntBetween(2,1) must panic")
+		}
+	}()
+	r.IntBetween(2, 1)
+}
+
+func TestPick(t *testing.T) {
+	r := New(12)
+	counts := make([]int, 4)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[r.Pick([]float64{1, 0, 3, 0})]++
+	}
+	if counts[1] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight entries drawn: %v", counts)
+	}
+	// 1:3 split, generous tolerance.
+	frac := float64(counts[0]) / draws
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("weight-1 entry drawn with frequency %.3f, want ~0.25", frac)
+	}
+	// All-zero weights fall back to uniform over every index.
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		seen[r.Pick([]float64{0, 0, 0})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("uniform fallback covered %d of 3 indices", len(seen))
+	}
+}

@@ -653,6 +653,10 @@ func (e *Engine) Step() {
 	// order (canonical float summation).
 	e.reduce()
 
+	if conservationLeakEvery > 0 {
+		e.maybeLeakForTest()
+	}
+
 	s.tick++
 
 	// 6. Observation.

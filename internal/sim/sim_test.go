@@ -672,3 +672,37 @@ func TestDroppedParallelEngineIsFinalized(t *testing.T) {
 	}
 	t.Fatal("dropped engine was never cleaned up: something still references it")
 }
+
+// The deliberate conservation-leak hook must actually corrupt the ledger
+// (that is its whole job: proving the harness invariant engine catches a
+// real engine-state bug) and must be inert when disabled.
+func TestConservationLeakHook(t *testing.T) {
+	build := func() *Engine {
+		g := topology.NewRing(8)
+		e, err := New(Config{
+			Graph:   g,
+			Policy:  nopPolicy{},
+			Initial: [][]float64{{1, 1}, {1}, {1}, {1}, {1}, {1}, {1}, {1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	clean := build()
+	clean.Run(10)
+	c := clean.State().Counters()
+	if got := clean.State().TotalLoad() + c.Consumed; got != c.Injected {
+		t.Fatalf("hook disabled but ledger off: total+consumed=%v injected=%v", got, c.Injected)
+	}
+
+	SetConservationLeakForTest(3)
+	defer SetConservationLeakForTest(0)
+	leaky := build()
+	leaky.Run(10)
+	c = leaky.State().Counters()
+	if got := leaky.State().TotalLoad() + c.Consumed; got >= c.Injected {
+		t.Fatalf("leak hook had no effect: total+consumed=%v injected=%v", got, c.Injected)
+	}
+}

@@ -181,6 +181,71 @@ func TestTorus16384BitIdentity500Ticks(t *testing.T) {
 	}
 }
 
+// The full-stack combination on a non-torus topology: heterogeneous speeds
+// (surface = drain time, service scaled per node) × link faults (bounce
+// paths) × batched arrivals (bursts above the engine's fan-out threshold,
+// so Workers=8 takes the sharded injection path while Workers=1 injects
+// inline) on the cube-connected-cycles network. Conservation must hold at
+// every tick and the Workers=8 run must stay bit-identical to its
+// Workers=1 twin.
+func TestHeteroFaultyBurstCCCIdentity(t *testing.T) {
+	g := CCC(3) // 24 nodes, degree 3 — the bounded-degree hypercube substitute
+	n := g.N()
+	speeds := make([]float64, n)
+	for v := range speeds {
+		speeds[v] = []float64{0.5, 1, 2}[v%3]
+	}
+	run := func(workers int) ([]float64, Counters) {
+		worst := 0.0
+		sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+			WithInitial(MultiHotspotLoad(n, 3, 96, 0.5)),
+			// 96-task bursts clear the 64-arrival fan-out threshold.
+			WithArrivals(BurstArrivals(4, 96, 0.4, n)),
+			WithServiceRate(0.08),
+			WithSpeeds(speeds),
+			WithLinks(Links(g, WithUniformFault(0.1))),
+			WithSeed(31),
+			WithWorkers(workers),
+			WithObserver(func(s *State) {
+				c := s.Counters()
+				resident := 0.0
+				for v := 0; v < n; v++ {
+					resident += s.Queue(v).Total()
+				}
+				if d := math.Abs(resident + s.InFlightLoad() + c.Consumed - c.Injected); d > worst {
+					worst = d
+				}
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		sys.Run(300)
+		if worst > 1e-6 {
+			t.Fatalf("workers=%d: load leak: worst imbalance %g", workers, worst)
+		}
+		c := sys.Counters()
+		if c.Faults == 0 {
+			t.Fatalf("workers=%d: no faults at p=0.1 — fault path not exercised", workers)
+		}
+		if c.TasksCompleted == 0 {
+			t.Fatalf("workers=%d: no tasks completed — service path not exercised", workers)
+		}
+		return sys.Loads(), c
+	}
+	seqLoads, seqC := run(1)
+	parLoads, parC := run(8)
+	if seqC != parC {
+		t.Fatalf("counters diverge:\nseq: %+v\npar: %+v", seqC, parC)
+	}
+	for v := range seqLoads {
+		if seqLoads[v] != parLoads[v] {
+			t.Fatalf("load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+		}
+	}
+}
+
 // InFlightTo is maintained incrementally; cross-check it against a direct
 // scan reconstruction from conservation: what left a node and has not
 // arrived anywhere must equal the total in-flight load.
