@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test vet fmt-check check bench bench-json experiments \
-	harness-smoke fuzz soak clean
+	harness-smoke harness-smoke-race fuzz soak clean
 
 all: build
 
@@ -47,6 +47,14 @@ SOAK ?= 5000
 
 harness-smoke:
 	$(GO) test -short -count=1 -run TestHarnessSmoke ./internal/harness -v
+
+# The same 220-scenario smoke under the race detector: every generated
+# scenario steps a Workers=N engine, its Workers=1 twin and the full-sweep
+# active-set twin in lockstep, so this races the active-set bookkeeping
+# (atomic bitset marks from concurrent shard workers) across the whole
+# scenario space, not just the hand-written engine tests.
+harness-smoke-race:
+	$(GO) test -race -short -count=1 -run TestHarnessSmoke ./internal/harness -v
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME) ./internal/harness

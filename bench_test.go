@@ -120,6 +120,27 @@ func BenchmarkTickPPLBTorus16384W1(b *testing.B) { benchTickScenario(b, "TickPPL
 // random 4-regular graph — the scalability ceiling scenario.
 func BenchmarkTickPPLBRR65536(b *testing.B) { benchTickScenario(b, "TickPPLBRR65536") }
 
+// BenchmarkTickSteadyStateTorus16384 measures the post-convergence tick on a
+// 16,384-node torus with the active-set pipeline: the system is warmed well
+// past equilibrium, so only the residual stochastic fringe (~125 nodes) is
+// re-planned each tick.
+func BenchmarkTickSteadyStateTorus16384(b *testing.B) {
+	benchTickScenario(b, "TickSteadyStateTorus16384")
+}
+
+// BenchmarkTickSteadyStateTorus16384FullSweep is the same converged state
+// with the active set disabled — every tick re-plans all 16,384 nodes. The
+// ratio against BenchmarkTickSteadyStateTorus16384 is the active-set speedup
+// (target: ≥10x).
+func BenchmarkTickSteadyStateTorus16384FullSweep(b *testing.B) {
+	benchTickScenario(b, "TickSteadyStateTorus16384FullSweep")
+}
+
+// BenchmarkTickPPLBSparse1M measures one tick on a 1,048,576-node torus with
+// load concentrated in 64 hotspots — only the spreading fronts are active, so
+// tick cost is O(changed), not O(N). Infeasible as a full sweep.
+func BenchmarkTickPPLBSparse1M(b *testing.B) { benchTickScenario(b, "TickPPLBSparse1M") }
+
 // BenchmarkStaticMapping measures the simulated-annealing mapper.
 func BenchmarkStaticMapping(b *testing.B) {
 	g := Torus(4, 4)

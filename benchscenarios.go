@@ -54,6 +54,63 @@ func parallelScenario(name string, mkGraph func() *Graph, tasksPerNode, workers,
 	}
 }
 
+// steadyStateScenario is the active-set headline measurement: a uniform
+// random workload on a 128x128 torus warmed well past convergence (the
+// transient dies out within ~200 ticks; by `warm` the active set has drained
+// to a stochastic fringe of ~125 of 16,384 nodes), so the measured loop is
+// pure post-convergence tick cost. The FullSweep twin re-plans all N nodes
+// every tick from the bit-identical state, so the ratio of the pair is the
+// active-set speedup with everything else held fixed.
+func steadyStateScenario(name string, warm int, fullSweep bool) TickBenchScenario {
+	return TickBenchScenario{
+		Name: name,
+		New: func() (*System, error) {
+			g := Torus(128, 128)
+			opts := []Option{
+				WithInitial(UniformRandomLoad(g.N(), 4*g.N(), 0.5, 3)),
+				WithSeed(1),
+				WithWorkers(8),
+				WithMetricsEvery(1 << 30),
+			}
+			if fullSweep {
+				opts = append(opts, WithFullSweep())
+			}
+			sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()), opts...)
+			if err != nil {
+				return nil, err
+			}
+			sys.Run(warm)
+			return sys, nil
+		},
+	}
+}
+
+// sparse1MScenario is the scale scenario the active set opens: a
+// 1024x1024 torus (1,048,576 nodes, 2,097,152 links) where load lives in 64
+// hotspots, so only the spreading front around each hotspot — a few percent
+// of the machine — is ever active. A full sweep plans a million nodes per
+// tick regardless; with the active set, tick cost tracks the front size and
+// the scenario is feasible on a laptop.
+func sparse1MScenario(name string) TickBenchScenario {
+	return TickBenchScenario{
+		Name: name,
+		New: func() (*System, error) {
+			g := Torus(1024, 1024)
+			sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+				WithInitial(MultiHotspotLoad(g.N(), 64, 65536, 1)),
+				WithSeed(1),
+				WithWorkers(8),
+				WithMetricsEvery(1<<30),
+			)
+			if err != nil {
+				return nil, err
+			}
+			sys.Run(50)
+			return sys, nil
+		},
+	}
+}
+
 // TickBenchScenarios returns the engine scenarios tracked across PRs (see
 // BENCH_PR1.json / BENCH_PR2.json for the recorded trajectory). Scenario
 // names match their go-test benchmark functions minus the "Benchmark"
@@ -78,6 +135,12 @@ func TickBenchScenarios() []TickBenchScenario {
 		parallelScenario("TickPPLBTorus16384", func() *Graph { return Torus(128, 128) }, 4, 8, 10),
 		parallelScenario("TickPPLBTorus16384W1", func() *Graph { return Torus(128, 128) }, 4, 1, 10),
 		parallelScenario("TickPPLBRR65536", func() *Graph { return RandomRegular(65536, 4, 7) }, 2, 8, 5),
+		// The active-set pair (PR 6): post-convergence tick cost with and
+		// without incremental planning, from bit-identical states. The delta
+		// between the two is the O(changed)-vs-O(N) headline.
+		steadyStateScenario("TickSteadyStateTorus16384", 400, false),
+		steadyStateScenario("TickSteadyStateTorus16384FullSweep", 400, true),
+		sparse1MScenario("TickPPLBSparse1M"),
 	}
 }
 

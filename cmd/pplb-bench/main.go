@@ -33,12 +33,18 @@ import (
 	"pplb"
 )
 
-// benchRecord is the machine-readable output of -benchjson.
+// benchRecord is the machine-readable output of -benchjson. GOMAXPROCS and
+// NumCPU pin the host parallelism the numbers were measured under, so a
+// trajectory delta taken on a different machine (or a GOMAXPROCS-capped CI
+// runner) can be discounted instead of read as a regression — the parallel
+// scenarios scale with both.
 type benchRecord struct {
-	Schema     string           `json:"schema"` // "pplb-bench/2"
+	Schema     string           `json:"schema"` // "pplb-bench/3"
 	GoVersion  string           `json:"go_version"`
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
 	Baseline   string           `json:"baseline,omitempty"` // BENCH_*.json the deltas compare against
 	Benchmarks []benchmarkEntry `json:"benchmarks"`
 }
@@ -124,10 +130,12 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 	// truncated) output as its own baseline nor destroy an existing record
 	// on the error path.
 	rec := benchRecord{
-		Schema:    "pplb-bench/2",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Schema:     "pplb-bench/3",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	explicit := baseline != ""
 	if !explicit {

@@ -119,8 +119,11 @@ func TestBenchJSONDelta(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Schema != "pplb-bench/2" {
+	if rec.Schema != "pplb-bench/3" {
 		t.Fatalf("schema %q", rec.Schema)
+	}
+	if rec.GOMAXPROCS <= 0 || rec.NumCPU <= 0 {
+		t.Fatalf("host metadata missing: gomaxprocs=%d num_cpu=%d", rec.GOMAXPROCS, rec.NumCPU)
 	}
 	if rec.Baseline != baseline {
 		t.Fatalf("baseline %q, want %q", rec.Baseline, baseline)

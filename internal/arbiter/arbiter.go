@@ -42,6 +42,12 @@ import (
 // Chooser selects one index from a non-empty score slice (higher score =
 // steeper slope = more attractive). Implementations must be deterministic
 // given the same scores, tick and RNG state.
+//
+// The non-empty precondition is load-bearing for the active-set planner:
+// because a chooser is consulted strictly after candidates exist, whether a
+// node's plan is *empty* never depends on chooser state, randomness or the
+// tick — which is what lets the PPLB balancer declare
+// sim.LocalityNeighborhood and have converged nodes skipped soundly.
 type Chooser interface {
 	Name() string
 	Choose(scores []float64, t int64, r *rng.RNG) int

@@ -43,6 +43,10 @@ func (None) Name() string { return "none" }
 // PlanNode implements sim.Policy.
 func (None) PlanNode(int, *sim.View, *rng.RNG) []sim.Move { return nil }
 
+// PlanLocality implements sim.LocalityDeclarer: the always-empty plan is
+// trivially a pure function of anything.
+func (None) PlanLocality() sim.Locality { return sim.LocalityNeighborhood }
+
 // pickTaskUpTo returns the largest resident task with load <= budget, or nil.
 // Deterministic: ties broken towards the lowest id.
 func pickTaskUpTo(tasks []*taskmodel.Task, budget float64) *taskmodel.Task {
@@ -71,6 +75,11 @@ type Diffusion struct {
 
 // Name implements sim.Policy.
 func (d Diffusion) Name() string { return "diffusion" }
+
+// PlanLocality implements sim.LocalityDeclarer: the plan is computed from
+// v's tasks, neighbour heights, incident busy links, degrees and speeds
+// only — no randomness, tick number, or internal state.
+func (d Diffusion) PlanLocality() sim.Locality { return sim.LocalityNeighborhood }
 
 // PlanNode implements sim.Policy.
 func (d Diffusion) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
@@ -325,6 +334,11 @@ type CWN struct {
 // Name implements sim.Policy.
 func (c CWN) Name() string { return "cwn" }
 
+// PlanLocality implements sim.LocalityDeclarer: candidate selection reads
+// v's tasks (including hop counts), neighbour heights, incident busy links
+// and speeds — all within the neighbourhood contract.
+func (c CWN) PlanLocality() sim.Locality { return sim.LocalityNeighborhood }
+
 // PlanNode implements sim.Policy.
 func (c CWN) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 	maxHops := c.MaxHops
@@ -419,15 +433,22 @@ func (r *RandomSender) PlanNode(v int, view *sim.View, rnd *rng.RNG) []sim.Move 
 	return []sim.Move{{TaskID: best.ID, From: v, To: j, NewFlag: sim.NaNFlag()}}
 }
 
-// interface checks
+// interface checks. DimensionExchange, GradientModel and RandomSender make
+// no locality declaration: they read global state (tick-indexed colorings,
+// relaxed pressure maps, system means), so they are LocalityGlobal by
+// default and always run as full sweeps — being TickPreparers forces that
+// anyway.
 var (
-	_ sim.Policy       = None{}
-	_ sim.Policy       = Diffusion{}
-	_ sim.Policy       = (*DimensionExchange)(nil)
-	_ sim.TickPreparer = (*DimensionExchange)(nil)
-	_ sim.Policy       = (*GradientModel)(nil)
-	_ sim.TickPreparer = (*GradientModel)(nil)
-	_ sim.Policy       = CWN{}
-	_ sim.Policy       = (*RandomSender)(nil)
-	_ sim.TickPreparer = (*RandomSender)(nil)
+	_ sim.Policy           = None{}
+	_ sim.LocalityDeclarer = None{}
+	_ sim.Policy           = Diffusion{}
+	_ sim.LocalityDeclarer = Diffusion{}
+	_ sim.Policy           = (*DimensionExchange)(nil)
+	_ sim.TickPreparer     = (*DimensionExchange)(nil)
+	_ sim.Policy           = (*GradientModel)(nil)
+	_ sim.TickPreparer     = (*GradientModel)(nil)
+	_ sim.Policy           = CWN{}
+	_ sim.LocalityDeclarer = CWN{}
+	_ sim.Policy           = (*RandomSender)(nil)
+	_ sim.TickPreparer     = (*RandomSender)(nil)
 )

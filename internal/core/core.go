@@ -191,6 +191,16 @@ func New(cfg Config) *Balancer {
 // Name implements sim.Policy.
 func (b *Balancer) Name() string { return "pplb" }
 
+// PlanLocality implements sim.LocalityDeclarer: whether PlanNode(v) proposes
+// nothing is decided entirely by v's neighbourhood. Both passes gate every
+// candidate on v's own tasks (load, flag, Moving, Prev, dependency weight to
+// co-located tasks), the heights of v's neighbours, the busy flags of v's
+// incident links, and static configuration (link costs, speeds, resources);
+// the chooser — the only consumer of randomness and of the tick number — is
+// consulted strictly after a non-empty candidate set exists, so an empty
+// plan never depends on it.
+func (b *Balancer) PlanLocality() sim.Locality { return sim.LocalityNeighborhood }
+
 // Config returns the balancer's configuration.
 func (b *Balancer) Config() Config { return b.cfg }
 
@@ -421,4 +431,7 @@ func (b *Balancer) FeasibleMoving(view *sim.View, t *taskmodel.Task, i, j int) (
 }
 
 // ensure interface compliance
-var _ sim.Policy = (*Balancer)(nil)
+var (
+	_ sim.Policy           = (*Balancer)(nil)
+	_ sim.LocalityDeclarer = (*Balancer)(nil)
+)

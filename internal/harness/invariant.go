@@ -187,26 +187,42 @@ func (cs *counterSanity) Check(s *sim.State) string {
 	return ""
 }
 
-// compareTwin checks Workers=N ≡ Workers=1 bit-identity: identical counters
-// and bitwise-identical per-node loads, tick for tick. This is the
-// determinism contract the sharded pipeline is built around.
-func compareTwin(primary, twin *sim.State, tick int64) *Violation {
-	if pc, tc := primary.Counters(), twin.Counters(); pc != tc {
+// compareStates checks two engines for bit-identity — identical counters and
+// bitwise-identical per-node loads — reporting any divergence under the
+// given invariant name with a/b labels for attribution.
+func compareStates(name, aLabel, bLabel string, a, b *sim.State, tick int64) *Violation {
+	if ac, bc := a.Counters(), b.Counters(); ac != bc {
 		return &Violation{
-			Invariant: "twin-identity",
+			Invariant: name,
 			Tick:      tick,
-			Detail:    fmt.Sprintf("counters diverge: workers=N %+v vs workers=1 %+v", pc, tc),
+			Detail:    fmt.Sprintf("counters diverge: %s %+v vs %s %+v", aLabel, ac, bLabel, bc),
 		}
 	}
-	pl, tl := primary.Loads(), twin.Loads()
-	for v := range pl {
-		if pl[v] != tl[v] {
+	al, bl := a.Loads(), b.Loads()
+	for v := range al {
+		if al[v] != bl[v] {
 			return &Violation{
-				Invariant: "twin-identity",
+				Invariant: name,
 				Tick:      tick,
-				Detail:    fmt.Sprintf("load at node %d diverges: workers=N %g vs workers=1 %g", v, pl[v], tl[v]),
+				Detail:    fmt.Sprintf("load at node %d diverges: %s %g vs %s %g", v, aLabel, al[v], bLabel, bl[v]),
 			}
 		}
 	}
 	return nil
+}
+
+// compareTwin checks Workers=N ≡ Workers=1 bit-identity: identical counters
+// and bitwise-identical per-node loads, tick for tick. This is the
+// determinism contract the sharded pipeline is built around.
+func compareTwin(primary, twin *sim.State, tick int64) *Violation {
+	return compareStates("twin-identity", "workers=N", "workers=1", primary, twin, tick)
+}
+
+// compareSweep checks active-set soundness: the incremental engine must stay
+// bit-identical to a full-sweep recompute of the same scenario. A missed
+// invalidation (a mutation site that forgot to dirty a neighbourhood) shows
+// up here as stale planning, attributed separately from worker-count
+// divergence.
+func compareSweep(primary, sweep *sim.State, tick int64) *Violation {
+	return compareStates("active-set-soundness", "active-set", "full-sweep", primary, sweep, tick)
 }

@@ -13,15 +13,20 @@ type Outcome struct {
 	Violation *Violation
 }
 
-// Run expands the spec, builds the primary engine and its Workers=1 twin,
-// steps both in lockstep, and checks the invariant suite plus twin
-// bit-identity every CheckEvery ticks (and always at the final tick). The
-// first violation stops the run.
+// Run expands the spec, builds the primary engine, its Workers=1 twin, and a
+// full-sweep recompute twin, steps all three in lockstep, and checks the
+// invariant suite plus twin bit-identity and active-set soundness every
+// CheckEvery ticks (and always at the final tick). The first violation stops
+// the run.
 //
-// Running the twin unconditionally doubles the cost of every scenario, and
-// that is the point: the determinism contract (Workers=1 ≡ Workers=N) is
-// the invariant most likely to break silently under engine refactors, so
-// every generated scenario doubles as an identity test.
+// Running the twins unconditionally triples the cost of every scenario, and
+// that is the point: the determinism contract (Workers=1 ≡ Workers=N) and
+// the active-set contract (incremental ≡ full sweep) are the invariants most
+// likely to break silently under engine refactors, so every generated
+// scenario doubles as an identity test for both. The sweep twin is built
+// even for scenarios whose policy forces full sweeps anyway — there it
+// degenerates to a second (cheap, still valid) identity check rather than a
+// special case in the runner.
 func Run(spec Spec) *Outcome {
 	sc := Generate(spec)
 	out := &Outcome{Scenario: sc}
@@ -43,11 +48,20 @@ func Run(spec Spec) *Outcome {
 		return out
 	}
 	defer twin.Close()
+	sweepCfg := sc.Config(1)
+	sweepCfg.FullSweep = true
+	sweep, err := sim.New(sweepCfg)
+	if err != nil {
+		out.Violation = &Violation{Invariant: "engine-construct", Detail: fmt.Sprintf("sweep twin: %v", err)}
+		return out
+	}
+	defer sweep.Close()
 
 	invs := StandardInvariants()
 	for tick := 1; tick <= sc.Ticks; tick++ {
 		primary.Step()
 		twin.Step()
+		sweep.Step()
 		if tick%sc.CheckEvery != 0 && tick != sc.Ticks {
 			continue
 		}
@@ -58,6 +72,10 @@ func Run(spec Spec) *Outcome {
 			}
 		}
 		if v := compareTwin(primary.State(), twin.State(), int64(tick)); v != nil {
+			out.Violation = v
+			return out
+		}
+		if v := compareSweep(primary.State(), sweep.State(), int64(tick)); v != nil {
 			out.Violation = v
 			return out
 		}

@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"slices"
 	"sync"
@@ -166,10 +167,54 @@ type State struct {
 	counters Counters
 	respTime stats.Online // response time of completed tasks
 
-	movingResident []*taskmodel.Task // tasks delivered with inertia last tick
+	movingResident []movingRec // tasks delivered with inertia last tick
 	nextTaskID     taskmodel.ID
 
+	// active is the dirty-tracking state of the incremental planner, nil
+	// when the engine runs full sweeps (global policy or Config.FullSweep).
+	active *activeSet
+
+	// occupied and shardTasks index which nodes hold resident tasks: the
+	// occupancy bitset drives the service phase's node walk and shardTasks
+	// gates whole shards. Maintained unconditionally — the skip is
+	// float-exact (an empty queue consumes exactly nothing), so both the
+	// incremental and the full-sweep engine share it bit-for-bit.
+	occupied   nodeBits
+	shardTasks [numShards]int64
+
 	view View // cached read-only face, so View() does not allocate
+}
+
+// noteTaskAdded maintains the occupancy index after a queue insertion at
+// node v. The shard count is a plain write: every call site runs either
+// sequentially or on the fan-out worker that owns v's shard.
+func (s *State) noteTaskAdded(v int) {
+	s.shardTasks[s.nodeShard[v]]++
+	s.occupied.set(v)
+}
+
+// noteTaskRemoved maintains the occupancy index after one task left node v's
+// queue.
+func (s *State) noteTaskRemoved(v int) {
+	s.shardTasks[s.nodeShard[v]]--
+	if s.queues[v].Len() == 0 {
+		s.occupied.clearBit(v)
+	}
+}
+
+// ActiveSetEnabled reports whether the engine plans incrementally via the
+// active set (false = every node re-plans every tick).
+func (s *State) ActiveSetEnabled() bool { return s.active != nil }
+
+// ActiveNodes returns the number of nodes currently scheduled for
+// re-planning on the next tick. With the active set disabled every node
+// re-plans every tick, so N is returned. A converged quiescent system drains
+// to 0 — the near-zero steady-state tick.
+func (s *State) ActiveNodes() int {
+	if s.active == nil {
+		return s.g.N()
+	}
+	return s.active.pendingCount()
 }
 
 // View is the read-only face of State handed to policies and metrics hooks.
@@ -377,6 +422,13 @@ type Config struct {
 	// Results are bit-identical to the sequential engine.
 	Workers int
 
+	// FullSweep disables the active-set planner: every node re-plans every
+	// tick even when the policy declares neighbourhood locality. The harness
+	// uses it to build the O(N) reference twin that checks active-set
+	// soundness; benchmarks use it to measure what the active set saves.
+	// Both engines are bit-identical by construction.
+	FullSweep bool
+
 	// OnTick observes the state after each completed tick.
 	OnTick func(*State)
 }
@@ -414,16 +466,23 @@ type Engine struct {
 	// Per-shard per-tick scratch (outboxes + partial reductions).
 	parts [numShards]shardPart
 
-	movingNext   []*taskmodel.Task            // scratch for rebuilding movingResident
+	movingNext   []movingRec                  // scratch for rebuilding movingResident
 	arrShard     [numShards][]*taskmodel.Task // arrival batch bucketed by owning shard
 	hadTransfers bool                         // transfers existed when advancement began
+
+	// fanShards is the scratch list of shard ids behind the subset fan-outs
+	// (active planning shards, occupied service shards). Phases run
+	// sequentially, so one list is shared.
+	fanShards []int
 
 	// Cached phase runners. These closures reference the engine (a plain
 	// internal cycle, which the tracing collector handles fine — the old
 	// SetFinalizer-era rule against self-references died with the migration
-	// to runtime.AddCleanup).
+	// to runtime.AddCleanup). The Sub variants run the i-th entry of
+	// fanShards instead of shard i, for the subset fan-outs.
 	runPlanFilter, runApply, runCommitMoves,
-	runAdvance, runCommitBounces, runService, runInject func(int, *rng.RNG)
+	runAdvance, runCommitBounces, runInject,
+	runPlanFilterSub, runServiceSub func(int, *rng.RNG)
 }
 
 // Close releases the engine's worker goroutines. It is safe to call more
@@ -479,6 +538,7 @@ func New(cfg Config) (*Engine, error) {
 		inflightTo: make([]float64, n),
 		nodeShard:  make([]uint8, n),
 		speeds:     cfg.Speeds,
+		occupied:   newNodeBits(n),
 	}
 	s.view.s = s
 	for k := 0; k <= numShards; k++ {
@@ -504,8 +564,20 @@ func New(cfg Config) (*Engine, error) {
 	e.runCommitMoves = e.commitMovesShard
 	e.runAdvance = e.advanceShard
 	e.runCommitBounces = e.commitBouncesShard
-	e.runService = e.serviceShard
 	e.runInject = e.injectShard
+	e.runPlanFilterSub = func(i int, r *rng.RNG) { e.planFilterShard(e.fanShards[i], r) }
+	e.runServiceSub = func(i int, r *rng.RNG) { e.serviceShard(e.fanShards[i], r) }
+	// The active set is sound only for policies whose empty plans are pure
+	// functions of neighbourhood state: they must declare that, and a
+	// TickPreparer (per-tick global refresh) forfeits it by definition.
+	if !cfg.FullSweep {
+		if ld, ok := cfg.Policy.(LocalityDeclarer); ok && ld.PlanLocality() == LocalityNeighborhood {
+			if _, prep := cfg.Policy.(TickPreparer); !prep {
+				s.active = newActiveSet(n, &s.shardLo)
+				s.active.activateAll()
+			}
+		}
+	}
 	if cfg.Workers > 1 {
 		e.pool = newPlanPool(cfg.Workers)
 		e.job = new(fanJob)
@@ -541,6 +613,8 @@ func (e *Engine) inject(node int, load float64) *taskmodel.Task {
 	}
 	t := e.createTask(node, load)
 	e.state.queues[node].Add(t)
+	e.state.noteTaskAdded(node)
+	e.markDirtyNeighborhood(node)
 	return t
 }
 
@@ -599,10 +673,35 @@ func (e *Engine) Step() {
 	// (drawn from its (node, tick) stream) are immediately reduced to the
 	// locally valid claims, and only nodes with surviving claims enter the
 	// shard's active list — later phases never rescan the full node range.
+	//
+	// With the active set enabled, only dirty nodes are planned: the swap
+	// freezes everything marked since planning last began as this tick's
+	// plan set, and shards with no marks are not visited at all. A skipped
+	// node's inputs are unchanged, so by the locality contract its plan
+	// would come out the byte-for-byte empty plan it produced last time —
+	// skipping is exact, not approximate, which is what keeps this engine
+	// bit-identical to the full sweep (and Workers=1 to Workers=8: marks are
+	// made atomically from any worker, but consumed in ascending node order
+	// within ascending shards, the canonical activation order).
 	if p, ok := e.cfg.Policy.(TickPreparer); ok {
 		p.PrepareTick(s.View())
 	}
-	e.fanOut(numShards, e.runPlanFilter)
+	if a := s.active; a != nil {
+		a.beginTick()
+		if a.planMask != 0 {
+			shards := e.fanShards[:0]
+			for k := 0; k < numShards; k++ {
+				if a.planMask&(1<<uint(k)) != 0 {
+					shards = append(shards, k)
+				}
+			}
+			e.fanShards = shards
+			e.fanOut(len(shards), e.runPlanFilterSub)
+			a.retire()
+		}
+	} else {
+		e.fanOut(numShards, e.runPlanFilter)
+	}
 
 	// 3b. Application: resolve cross-node link contention (lowest endpoint
 	// wins), turn winners into outbox records, and commit them to the
@@ -637,16 +736,31 @@ func (e *Engine) Step() {
 	}
 
 	// Settle inertial tasks that did not continue their slide: the particle
-	// has come to rest in this valley.
-	for _, t := range prevMoving {
-		if t.Moving && t.MovedTick != s.tick {
-			t.Moving = false
+	// has come to rest in this valley. Settling flips a planning input (the
+	// Moving flag feeds the inertia pass) but one invisible to neighbours,
+	// so only the task's own node is re-activated.
+	for _, mr := range prevMoving {
+		if mr.t.Moving && mr.t.MovedTick != s.tick {
+			mr.t.Moving = false
+			e.markDirty(int(mr.node))
 		}
 	}
 
-	// 5. Service (scaled by node speed on heterogeneous systems).
+	// 5. Service (scaled by node speed on heterogeneous systems). Only
+	// shards with resident tasks are visited, and within a shard only
+	// occupied nodes — exact in both engines, since an empty queue consumes
+	// exactly nothing.
 	if e.cfg.ServiceRate > 0 {
-		e.fanOut(numShards, e.runService)
+		shards := e.fanShards[:0]
+		for k := 0; k < numShards; k++ {
+			if s.shardTasks[k] > 0 {
+				shards = append(shards, k)
+			}
+		}
+		e.fanShards = shards
+		if len(shards) > 0 {
+			e.fanOut(len(shards), e.runServiceSub)
+		}
 	}
 
 	// Fold the per-shard partials into the global state in ascending shard
@@ -687,59 +801,101 @@ func (e *Engine) planFilterShard(k int, r *rng.RNG) {
 	p := &e.parts[k]
 	rejectedBefore := p.counters.Rejected
 	tickBase := uint64(s.tick) * uint64(s.g.N())
-	for v := s.shardLo[k]; v < s.shardLo[k+1]; v++ {
-		e.planBase.SplitInto(tickBase+uint64(v), r)
-		moves := e.cfg.Policy.PlanNode(v, s.View(), r)
-		if len(moves) == 0 {
-			continue
+	lo, hi := s.shardLo[k], s.shardLo[k+1]
+	if a := s.active; a != nil {
+		// Walk only the set bits of the frozen plan set within this shard's
+		// node range, ascending. Boundary words are masked because shard
+		// ranges are not 64-aligned; plan has no concurrent writers during
+		// the planning fan-out (mutators mark into pending).
+		for w := lo >> 6; w <= (hi-1)>>6; w++ {
+			word := a.plan[w]
+			if word == 0 {
+				continue
+			}
+			base := w << 6
+			if base < lo {
+				word &= ^uint64(0) << uint(lo-base)
+			}
+			if base+64 > hi {
+				word &= 1<<uint(hi-base) - 1
+			}
+			for word != 0 {
+				v := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				e.planNode(v, p, r, tickBase)
+			}
 		}
-		sortMovesByTask(moves)
-		kept := moves[:0]
-		eids := e.planEdge[v][:0]
-		var lastTask taskmodel.ID
-		for _, m := range moves {
-			if m.From != v || m.From == m.To {
-				p.counters.Rejected++
-				continue
-			}
-			id, ok := s.g.EdgeID(m.From, m.To)
-			if !ok || s.linkBusy[id] {
-				p.counters.Rejected++
-				continue
-			}
-			if len(kept) > 0 && m.TaskID == lastTask {
-				p.counters.Rejected++ // one move per task (ids are sorted)
-				continue
-			}
-			if !s.queues[v].Has(m.TaskID) {
-				p.counters.Rejected++
-				continue
-			}
-			dup := false
-			for _, eid := range eids {
-				if eid == int32(id) {
-					dup = true // one transfer per link
-					break
-				}
-			}
-			if dup {
-				p.counters.Rejected++
-				continue
-			}
-			kept = append(kept, m)
-			eids = append(eids, int32(id))
-			lastTask = m.TaskID
+	} else {
+		for v := lo; v < hi; v++ {
+			e.planNode(v, p, r, tickBase)
 		}
-		if len(kept) == 0 {
-			continue
-		}
-		e.planBuf[v] = kept
-		e.planEdge[v] = eids
-		p.active = append(p.active, int32(v))
 	}
 	if len(p.active) > 0 || p.counters.Rejected != rejectedBefore {
 		p.dirty = true
 	}
+}
+
+// planNode plans one node from its (node, tick) stream and reduces its
+// proposals to the node's locally valid claims (see planFilterShard).
+func (e *Engine) planNode(v int, p *shardPart, r *rng.RNG, tickBase uint64) {
+	s := e.state
+	e.planBase.SplitInto(tickBase+uint64(v), r)
+	moves := e.cfg.Policy.PlanNode(v, s.View(), r)
+	if len(moves) == 0 {
+		return
+	}
+	if s.active != nil {
+		// Deactivation is decided only on a raw-empty plan: any node that
+		// proposed something re-plans next tick even if every proposal is
+		// filtered out or loses its link, because those outcomes depend on
+		// state (busy flags, cross-node contention) outside the locality
+		// contract. This also keeps the Rejected counter identical to the
+		// full sweep's.
+		s.active.mark(v, s.nodeShard[v])
+	}
+	sortMovesByTask(moves)
+	kept := moves[:0]
+	eids := e.planEdge[v][:0]
+	var lastTask taskmodel.ID
+	for _, m := range moves {
+		if m.From != v || m.From == m.To {
+			p.counters.Rejected++
+			continue
+		}
+		id, ok := s.g.EdgeID(m.From, m.To)
+		if !ok || s.linkBusy[id] {
+			p.counters.Rejected++
+			continue
+		}
+		if len(kept) > 0 && m.TaskID == lastTask {
+			p.counters.Rejected++ // one move per task (ids are sorted)
+			continue
+		}
+		if !s.queues[v].Has(m.TaskID) {
+			p.counters.Rejected++
+			continue
+		}
+		dup := false
+		for _, eid := range eids {
+			if eid == int32(id) {
+				dup = true // one transfer per link
+				break
+			}
+		}
+		if dup {
+			p.counters.Rejected++
+			continue
+		}
+		kept = append(kept, m)
+		eids = append(eids, int32(id))
+		lastTask = m.TaskID
+	}
+	if len(kept) == 0 {
+		return
+	}
+	e.planBuf[v] = kept
+	e.planEdge[v] = eids
+	p.active = append(p.active, int32(v))
 }
 
 // anyActive reports whether any shard holds surviving claims this tick.
@@ -804,6 +960,11 @@ func (e *Engine) applyShard(k int, _ *rng.RNG) {
 				p.counters.Rejected++ // unreachable: residency checked in filter
 				continue
 			}
+			s.noteTaskRemoved(v)
+			// v's load dropped and link {v, m.To} went busy; both endpoints
+			// and every height-watching neighbour must re-plan. m.To is a
+			// neighbour of v, so one neighbourhood mark covers the link too.
+			e.markDirtyNeighborhood(v)
 			if !math.IsNaN(m.NewFlag) {
 				t.Flag = m.NewFlag
 			}
@@ -920,6 +1081,12 @@ func (e *Engine) advanceShard(k int, r *rng.RNG) {
 		s.linkBusy[eid] = false
 		to := int(sh.to[i])
 		s.queues[to].Add(t)
+		s.noteTaskAdded(to)
+		// to's load rose and the link freed; the sender is a neighbour of
+		// to, so the neighbourhood mark re-activates it as well. A bounce
+		// *start* needs no mark: the link stays busy and only inflightTo
+		// changes, which is outside the locality contract.
+		e.markDirtyNeighborhood(to)
 		s.inflightTo[to] -= t.Load
 		p.inflightD -= t.Load
 		if sh.bounce[i] {
@@ -932,22 +1099,51 @@ func (e *Engine) advanceShard(k int, r *rng.RNG) {
 			p.counters.Traffic += t.Load * cost
 			t.Moving = sh.moving[i]
 			if sh.moving[i] {
-				p.moving = append(p.moving, t)
+				p.moving = append(p.moving, movingRec{t: t, node: sh.to[i]})
 			}
 		}
 	}
 	sh.truncate(w)
 }
 
-// serviceShard consumes service capacity on shard k's nodes, collecting
-// completed tasks and the consumed load as shard partials.
+// serviceShard consumes service capacity on shard k's occupied nodes,
+// collecting completed tasks and the consumed load as shard partials. The
+// occupancy walk visits set bits of the occupied index in ascending node
+// order; boundary words are read atomically because a neighbouring shard's
+// worker may clear its own bits in a straddling word concurrently.
 func (e *Engine) serviceShard(k int, _ *rng.RNG) {
 	s := e.state
 	p := &e.parts[k]
-	for v := s.shardLo[k]; v < s.shardLo[k+1]; v++ {
-		done, consumed := s.queues[v].ConsumeServiceInto(e.cfg.ServiceRate*s.Speed(v), s.tick, p.done)
-		p.done = done
-		p.counters.Consumed += consumed
+	lo, hi := s.shardLo[k], s.shardLo[k+1]
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := atomic.LoadUint64(&s.occupied[w])
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		if base < lo {
+			word &= ^uint64(0) << uint(lo-base)
+		}
+		if base+64 > hi {
+			word &= 1<<uint(hi-base) - 1
+		}
+		for word != 0 {
+			v := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			before := len(p.done)
+			done, consumed := s.queues[v].ConsumeServiceInto(e.cfg.ServiceRate*s.Speed(v), s.tick, p.done)
+			p.done = done
+			p.counters.Consumed += consumed
+			if consumed > 0 {
+				e.markDirtyNeighborhood(v)
+			}
+			if completed := len(p.done) - before; completed > 0 {
+				s.shardTasks[k] -= int64(completed)
+				if s.queues[v].Len() == 0 {
+					s.occupied.clearBit(v)
+				}
+			}
+		}
 	}
 	if p.counters.Consumed != 0 || len(p.done) > 0 {
 		p.dirty = true
@@ -962,6 +1158,8 @@ func (e *Engine) injectShard(k int, _ *rng.RNG) {
 	bucket := e.arrShard[k]
 	for _, t := range bucket {
 		s.queues[t.Origin].Add(t)
+		s.noteTaskAdded(t.Origin)
+		e.markDirtyNeighborhood(t.Origin)
 	}
 	clear(bucket)
 	e.arrShard[k] = bucket[:0]
@@ -1005,10 +1203,13 @@ func (e *Engine) reduce() {
 		for i := range s.inflightTo {
 			s.inflightTo[i] = 0
 		}
-	} else if s.tick&0x1fff == 0 {
+	} else if s.tick&0x1fff == 0 && (s.inflightLoad != 0 || s.InFlight() > 0) {
 		// Runs that never quiesce would otherwise accumulate rounding
 		// residue in the incremental aggregates forever; rebuild them
-		// exactly from the live transfers at a low fixed cadence.
+		// exactly from the live transfers at a low fixed cadence. An idle
+		// network skips the rebuild: the quiescent reset above zeroed both
+		// the scalar and the vector together, so there is nothing to
+		// rebuild and a steady-state tick stays O(active), not O(N).
 		s.inflightLoad = 0
 		for i := range s.inflightTo {
 			s.inflightTo[i] = 0

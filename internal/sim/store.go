@@ -80,6 +80,14 @@ func (t *transferShard) truncate(n int) {
 	t.moving = t.moving[:n]
 }
 
+// movingRec pairs a task delivered with inertia with the node it landed on,
+// so the settle pass can re-activate exactly that node when the task comes
+// to rest (tasks do not record their current node).
+type movingRec struct {
+	t    *taskmodel.Task
+	node int32
+}
+
 // shardPart is the per-shard per-tick scratch of the pipeline: outboxes of
 // transfers to hand to other shards, and partial reductions (counters,
 // in-flight load delta, inertia arrivals, service completions) that the
@@ -91,7 +99,7 @@ type shardPart struct {
 	counters  Counters
 	inflightD float64
 	active    []int32           // owned nodes with surviving claims this tick
-	moving    []*taskmodel.Task // delivered with inertia this tick
+	moving    []movingRec       // delivered with inertia this tick
 	done      []*taskmodel.Task // completed by service this tick
 
 	// dirty marks a partial some phase wrote this tick; reduce skips clean

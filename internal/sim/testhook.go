@@ -30,6 +30,12 @@ func (e *Engine) maybeLeakForTest() {
 	for v := range s.queues {
 		if ts := s.queues[v].Tasks(); len(ts) > 0 {
 			s.queues[v].Remove(ts[0].ID)
+			// Keep the occupancy index and active set coherent: the leak
+			// must break load conservation and nothing else, in every
+			// engine variant alike, so the invariant under test is the one
+			// that fires (not twin divergence or a stale-plan artefact).
+			s.noteTaskRemoved(v)
+			e.markDirtyNeighborhood(v)
 			return
 		}
 	}

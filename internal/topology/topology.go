@@ -30,49 +30,75 @@ type Edge struct {
 }
 
 // Graph is an undirected interconnection network with a fixed node set
-// {0..N-1}, sorted adjacency lists, and a 2-D embedding.
+// {0..N-1}, sorted adjacency lists, and a 2-D embedding. The per-node adj and
+// adjEdge slices are windows into two shared backing arrays (a CSR layout),
+// so a graph costs O(N+E) small allocations instead of O(N) maps — the
+// difference between a 1M-node torus building in well under a second and it
+// thrashing the allocator for minutes.
 type Graph struct {
 	name    string
 	adj     [][]int
 	adjEdge [][]int // adjEdge[v][k] = EdgeID(v, adj[v][k])
 	coords  []Point2
 	edges   []Edge
-	edgeIdx map[Edge]int
 }
 
-// build finalises a graph from an adjacency-set representation.
-func build(name string, n int, adjSet []map[int]bool, coords []Point2) *Graph {
-	g := &Graph{name: name, adj: make([][]int, n), coords: coords}
+// edgeList accumulates undirected edges as normalised (u<<32 | v, u < v)
+// pairs. Duplicates and self-loops are tolerated; build sorts and compacts.
+type edgeList struct {
+	n     int
+	pairs []uint64
+}
+
+// build finalises a graph from the accumulated edge list: sort + dedup the
+// normalised pairs (their order IS the canonical edge order — lexicographic
+// (U,V)), then fill the CSR adjacency in one pass. Because pairs are
+// processed in sorted order, every adj[v] comes out ascending: all neighbours
+// u < v arrive first (from pairs (u,v), ascending in u), then all neighbours
+// w > v (from pairs (v,w), ascending in w).
+func build(name string, s *edgeList, coords []Point2) *Graph {
+	n := s.n
+	sort.Slice(s.pairs, func(i, j int) bool { return s.pairs[i] < s.pairs[j] })
+	pairs := s.pairs[:0]
+	var prev uint64
+	for i, p := range s.pairs {
+		if i == 0 || p != prev {
+			pairs = append(pairs, p)
+			prev = p
+		}
+	}
+	g := &Graph{name: name, coords: coords}
+	g.edges = make([]Edge, len(pairs))
+	deg := make([]int32, n+1)
+	for i, p := range pairs {
+		u, v := int(p>>32), int(p&0xffffffff)
+		g.edges[i] = Edge{U: u, V: v}
+		deg[u]++
+		deg[v]++
+	}
+	// Prefix-sum degrees into CSR offsets; off[v] doubles as the running fill
+	// cursor for node v during the second pass.
+	off := make([]int32, n+1)
 	for v := 0; v < n; v++ {
-		for u := range adjSet[v] {
-			g.adj[v] = append(g.adj[v], u)
-		}
-		sort.Ints(g.adj[v])
+		off[v+1] = off[v] + deg[v]
 	}
-	for v := 0; v < n; v++ {
-		for _, u := range g.adj[v] {
-			if v < u {
-				g.edges = append(g.edges, Edge{U: v, V: u})
-			}
-		}
+	start := make([]int32, n+1)
+	copy(start, off)
+	adjData := make([]int, off[n])
+	adjEdgeData := make([]int, off[n])
+	for i, p := range pairs {
+		u, v := int(p>>32), int(p&0xffffffff)
+		adjData[off[u]], adjEdgeData[off[u]] = v, i
+		off[u]++
+		adjData[off[v]], adjEdgeData[off[v]] = u, i
+		off[v]++
 	}
-	sort.Slice(g.edges, func(i, j int) bool {
-		if g.edges[i].U != g.edges[j].U {
-			return g.edges[i].U < g.edges[j].U
-		}
-		return g.edges[i].V < g.edges[j].V
-	})
-	g.edgeIdx = make(map[Edge]int, len(g.edges))
-	for i, e := range g.edges {
-		g.edgeIdx[e] = i
-	}
+	g.adj = make([][]int, n)
 	g.adjEdge = make([][]int, n)
 	for v := 0; v < n; v++ {
-		g.adjEdge[v] = make([]int, len(g.adj[v]))
-		for k, u := range g.adj[v] {
-			id, _ := g.EdgeID(v, u)
-			g.adjEdge[v][k] = id
-		}
+		lo, hi := start[v], start[v+1]
+		g.adj[v] = adjData[lo:hi:hi]
+		g.adjEdge[v] = adjEdgeData[lo:hi:hi]
 	}
 	if g.coords == nil {
 		g.coords = circleLayout(n)
@@ -80,20 +106,16 @@ func build(name string, n int, adjSet []map[int]bool, coords []Point2) *Graph {
 	return g
 }
 
-func newAdjSet(n int) []map[int]bool {
-	s := make([]map[int]bool, n)
-	for i := range s {
-		s[i] = make(map[int]bool)
-	}
-	return s
-}
+func newEdgeList(n int) *edgeList { return &edgeList{n: n} }
 
-func addEdge(s []map[int]bool, u, v int) {
+func addEdge(s *edgeList, u, v int) {
 	if u == v {
 		return
 	}
-	s[u][v] = true
-	s[v][u] = true
+	if u > v {
+		u, v = v, u
+	}
+	s.pairs = append(s.pairs, uint64(u)<<32|uint64(v))
 }
 
 func circleLayout(n int) []Point2 {
@@ -158,13 +180,23 @@ func (g *Graph) HasEdge(u, v int) bool {
 func (g *Graph) Edges() []Edge { return g.edges }
 
 // EdgeID returns the canonical index of the undirected edge {u,v} in
-// Edges(), and whether the edge exists. Orientation is ignored.
+// Edges(), and whether the edge exists. Orientation is ignored. The lookup is
+// a binary search on the sorted adjacency of the lower-degree endpoint —
+// O(log degree), no map — so it stays cheap on hubs (stars, complete graphs)
+// and allocation-free everywhere.
 func (g *Graph) EdgeID(u, v int) (int, bool) {
-	if u > v {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) || u == v {
+		return 0, false
+	}
+	if len(g.adj[v]) < len(g.adj[u]) {
 		u, v = v, u
 	}
-	i, ok := g.edgeIdx[Edge{U: u, V: v}]
-	return i, ok
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	if i < len(ns) && ns[i] == v {
+		return g.adjEdge[u][i], true
+	}
+	return 0, false
 }
 
 // NumEdges returns the number of undirected edges.
@@ -267,7 +299,7 @@ func (g *Graph) EdgeColoring() [][]Edge {
 // NewMesh returns a rows x cols 2-D mesh (grid) with 4-neighbourhood.
 func NewMesh(rows, cols int) *Graph {
 	n := rows * cols
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	coords := make([]Point2, n)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
@@ -281,13 +313,13 @@ func NewMesh(rows, cols int) *Graph {
 			}
 		}
 	}
-	return build(fmt.Sprintf("mesh%dx%d", rows, cols), n, s, coords)
+	return build(fmt.Sprintf("mesh%dx%d", rows, cols), s, coords)
 }
 
 // NewTorus returns a rows x cols 2-D torus (mesh with wraparound links).
 func NewTorus(rows, cols int) *Graph {
 	n := rows * cols
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	coords := make([]Point2, n)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
@@ -297,13 +329,13 @@ func NewTorus(rows, cols int) *Graph {
 			addEdge(s, id(r, c), id((r+1)%rows, c))
 		}
 	}
-	return build(fmt.Sprintf("torus%dx%d", rows, cols), n, s, coords)
+	return build(fmt.Sprintf("torus%dx%d", rows, cols), s, coords)
 }
 
 // NewHypercube returns the n-dimensional hypercube Q_dim with 2^dim nodes.
 func NewHypercube(dim int) *Graph {
 	n := 1 << uint(dim)
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	coords := make([]Point2, n)
 	for v := 0; v < n; v++ {
 		// Lay nodes on a circle ordered by Gray code for a tidy drawing.
@@ -315,24 +347,24 @@ func NewHypercube(dim int) *Graph {
 			addEdge(s, v, v^(1<<uint(d)))
 		}
 	}
-	return build(fmt.Sprintf("hypercube%d", dim), n, s, coords)
+	return build(fmt.Sprintf("hypercube%d", dim), s, coords)
 }
 
 // NewRing returns a cycle of n nodes (n >= 3 for a proper ring; smaller n
 // degenerate to a path/point).
 func NewRing(n int) *Graph {
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	for v := 0; v < n; v++ {
 		if n > 1 {
 			addEdge(s, v, (v+1)%n)
 		}
 	}
-	return build(fmt.Sprintf("ring%d", n), n, s, circleLayout(n))
+	return build(fmt.Sprintf("ring%d", n), s, circleLayout(n))
 }
 
 // NewStar returns a star: node 0 is the hub connected to all others.
 func NewStar(n int) *Graph {
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	for v := 1; v < n; v++ {
 		addEdge(s, 0, v)
 	}
@@ -340,20 +372,20 @@ func NewStar(n int) *Graph {
 	if n > 0 {
 		coords[0] = Point2{}
 	}
-	return build(fmt.Sprintf("star%d", n), n, s, coords)
+	return build(fmt.Sprintf("star%d", n), s, coords)
 }
 
 // NewComplete returns the complete graph K_n. With every pair adjacent the
 // system behaves like the LAN scenario of the related-work section, where
 // all processors are mutually "neighbours".
 func NewComplete(n int) *Graph {
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			addEdge(s, u, v)
 		}
 	}
-	return build(fmt.Sprintf("complete%d", n), n, s, circleLayout(n))
+	return build(fmt.Sprintf("complete%d", n), s, circleLayout(n))
 }
 
 // NewTree returns a complete k-ary tree of the given depth (depth 0 is a
@@ -369,7 +401,7 @@ func NewTree(arity, depth int) *Graph {
 		level *= arity
 		n += level
 	}
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	coords := make([]Point2, n)
 	// BFS order: children of node v are arity*v+1 .. arity*v+arity.
 	type item struct{ id, depth, slot, width int }
@@ -392,7 +424,7 @@ func NewTree(arity, depth int) *Graph {
 			queue = append(queue, item{child, it.depth + 1, it.slot*arity + c, it.width * arity})
 		}
 	}
-	return build(fmt.Sprintf("tree%d^%d", arity, depth), n, s, coords)
+	return build(fmt.Sprintf("tree%d^%d", arity, depth), s, coords)
 }
 
 // NewRandomRegular returns a connected random d-regular multigraph-free graph
@@ -428,19 +460,26 @@ func tryPairing(n, d int, r *rng.RNG) (*Graph, bool) {
 		}
 	}
 	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-	s := newAdjSet(n)
+	s := newEdgeList(n)
+	seen := make(map[uint64]bool, len(stubs)/2)
 	for i := 0; i+1 < len(stubs); i += 2 {
 		u, v := stubs[i], stubs[i+1]
-		if u == v || s[u][v] {
+		if u > v {
+			u, v = v, u
+		}
+		// The pairing model must reject self-loops and parallel edges, so
+		// duplicates are detected here rather than silently compacted away.
+		if u == v || seen[uint64(u)<<32|uint64(v)] {
 			return nil, false
 		}
+		seen[uint64(u)<<32|uint64(v)] = true
 		addEdge(s, u, v)
 	}
-	return build("rr", n, s, nil), true
+	return build("rr", s, nil), true
 }
 
 func circulant(n, d int) *Graph {
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	for v := 0; v < n; v++ {
 		for k := 1; k <= d/2; k++ {
 			addEdge(s, v, (v+k)%n)
@@ -449,7 +488,7 @@ func circulant(n, d int) *Graph {
 			addEdge(s, v, (v+n/2)%n)
 		}
 	}
-	return build(fmt.Sprintf("circ%d-d%d", n, d), n, s, circleLayout(n))
+	return build(fmt.Sprintf("circ%d-d%d", n, d), s, circleLayout(n))
 }
 
 // NewCCC returns the cube-connected-cycles network CCC(d): each corner of a
@@ -463,7 +502,7 @@ func NewCCC(d int) *Graph {
 	}
 	corners := 1 << uint(d)
 	n := corners * d
-	s := newAdjSet(n)
+	s := newEdgeList(n)
 	id := func(w, p int) int { return w*d + p }
 	coords := make([]Point2, n)
 	for w := 0; w < corners; w++ {
@@ -480,7 +519,7 @@ func NewCCC(d int) *Graph {
 			addEdge(s, id(w, p), id(w^(1<<uint(p)), p))
 		}
 	}
-	return build(fmt.Sprintf("ccc%d", d), n, s, coords)
+	return build(fmt.Sprintf("ccc%d", d), s, coords)
 }
 
 // MeshDims returns rows, cols for graphs created by NewMesh/NewTorus by

@@ -286,6 +286,12 @@ func WithSpeeds(speeds []float64) Option { return func(c *sysConfig) { c.sim.Spe
 // to sequential).
 func WithWorkers(n int) Option { return func(c *sysConfig) { c.sim.Workers = n } }
 
+// WithFullSweep disables the active-set pipeline and re-plans every node
+// every tick even for policies that declare neighbourhood locality. Results
+// are bit-identical either way; this exists for benchmarking the sweep cost
+// and for the harness's active-set soundness twin.
+func WithFullSweep() Option { return func(c *sysConfig) { c.sim.FullSweep = true } }
+
 // WithMetricsEvery sets the metrics sampling period in ticks (default 1).
 func WithMetricsEvery(every int) Option { return func(c *sysConfig) { c.every = every } }
 
