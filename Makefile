@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check check bench bench-json experiments \
-	harness-smoke harness-smoke-race fuzz soak clean
+.PHONY: all build test vet fmt-check check bench bench-json profile \
+	experiments harness-smoke harness-smoke-race fuzz soak clean
 
 all: build
 
@@ -39,6 +39,16 @@ bench:
 bench-json:
 	$(GO) run ./cmd/pplb-bench -benchjson bench.json
 
+# CPU + heap profiles of the tick benchmarks via pplb-bench's pprof flags.
+# Inspect with `go tool pprof profiles/bench.cpu.pprof` (top, list, web).
+PROFILE_DIR ?= profiles
+
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/pplb-bench -benchjson $(PROFILE_DIR)/bench.json -baseline none \
+		-cpuprofile $(PROFILE_DIR)/bench.cpu.pprof -memprofile $(PROFILE_DIR)/bench.mem.pprof
+	@echo "profiles written to $(PROFILE_DIR)/"
+
 # Scenario-fuzzing harness (see internal/harness and the README's
 # "Testing & fuzzing" section). harness-smoke is the fast merge-gate soak;
 # fuzz and soak are the longer local/nightly variants.
@@ -70,4 +80,4 @@ soak:
 # generated JSON records, and harness replay artifacts.
 clean:
 	rm -f *.test */*.test */*/*.test checks.json bench.json
-	rm -rf harness-artifacts internal/harness/harness-artifacts
+	rm -rf harness-artifacts internal/harness/harness-artifacts profiles

@@ -1,0 +1,53 @@
+//go:build !race
+
+// Allocation-regression gate: the arena conversion's contract is that a
+// steady-state engine tick allocates nothing, so the GC scan set stops
+// growing with live tasks. This test pins that property in the merge gate —
+// a change that reintroduces per-tick allocation (a map rebuilt per plan, a
+// forgotten pooled buffer, a snapshot materialised on a hot path) fails
+// here long before it shows up as a benchmark regression.
+//
+// Only sequential (Workers=1) scenarios are gated: testing.AllocsPerRun
+// counts mallocs across every goroutine, so parallel-pipeline scenarios
+// would pick up scheduler noise that is not the engine's doing. The gate is
+// excluded under -race because the race runtime itself allocates.
+package pplb
+
+import "testing"
+
+// allocGateScenarios are the steady-state tick scenarios pinned to zero
+// allocations per Step. All run the full inject/plan/move/transfer/service/
+// settle pipeline on one goroutine.
+var allocGateScenarios = []string{
+	"TickPPLBTorus256",
+	"TickPPLBTorus1024",
+	"TickDiffusionTorus256",
+	"TickGMTorus256",
+	"TickPPLBTorus16384W1",
+}
+
+func TestSteadyStateTickZeroAllocs(t *testing.T) {
+	for _, name := range allocGateScenarios {
+		t.Run(name, func(t *testing.T) {
+			sc := tickBenchScenario(name)
+			if sc == nil {
+				t.Fatalf("unknown tick scenario %q", name)
+			}
+			sys, err := sc.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+			// Let every pooled buffer and amortised slice reach its
+			// steady-state capacity before measuring: while load is still
+			// spreading, queues, transfer lanes and plan buffers legitimately
+			// append past capacity.
+			for i := 0; i < 1500; i++ {
+				sys.Step()
+			}
+			if avg := testing.AllocsPerRun(50, func() { sys.Step() }); avg != 0 {
+				t.Errorf("%s: %.2f allocs/op in steady state, want 0", name, avg)
+			}
+		})
+	}
+}

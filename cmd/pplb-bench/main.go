@@ -13,10 +13,12 @@
 // the quick variant. -checks writes a machine-readable JSON summary of all
 // shape checks (a CI gate). -benchjson runs the engine tick
 // micro-benchmarks instead of the experiment registry and writes a
-// machine-readable record of ns/op and allocs/op per scenario, so the
-// repository can track its performance trajectory across PRs; each entry
-// also carries a delta against the previous PR's recorded trajectory
-// (-baseline overrides which BENCH_*.json to diff against, "none" disables).
+// machine-readable record of ns/op, allocs/op and heap/GC deltas per
+// scenario, so the repository can track its performance and memory
+// trajectory across PRs; each entry also carries a delta against the
+// previous PR's recorded trajectory (-baseline overrides which BENCH_*.json
+// to diff against, "none" disables). -cpuprofile/-memprofile write pprof
+// profiles of whatever the invocation ran (experiments or benchmarks).
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"pplb"
@@ -39,7 +42,7 @@ import (
 // runner) can be discounted instead of read as a regression — the parallel
 // scenarios scale with both.
 type benchRecord struct {
-	Schema     string           `json:"schema"` // "pplb-bench/3"
+	Schema     string           `json:"schema"` // "pplb-bench/4"
 	GoVersion  string           `json:"go_version"`
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
@@ -56,18 +59,31 @@ type benchmarkEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 
+	// Memory observability (schema pplb-bench/4): heap in use when the
+	// benchmark finished, and the GC cycles and stop-the-world pause time
+	// the whole measurement (setup + timed iterations) incurred. A
+	// steady-state scenario at 0 allocs/op should hold GCCycles at or near
+	// zero no matter how long the benchmark loop spins — growth here means
+	// the scan set or allocation rate regressed even if ns/op did not.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	GCCycles       uint32 `json:"gc_cycles"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+
 	// DeltaNsPct is the percentage change of ns/op against the baseline
 	// trajectory record ("after" values), negative = faster. Omitted when
 	// the baseline lacks the benchmark.
 	DeltaNsPct *float64 `json:"delta_ns_pct,omitempty"`
 }
 
-// trajectoryFile is the subset of the BENCH_PR*.json trajectory schema the
-// delta section reads.
+// trajectoryFile is the subset of the BENCH_PR*.json schemas the delta
+// section reads: the hand-written pplb-bench-trajectory/1 records carry
+// before/after pairs, the tool's own pplb-bench/3+ records carry flat
+// per-benchmark numbers.
 type trajectoryFile struct {
 	Benchmarks []struct {
-		Name  string `json:"name"`
-		After struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+		After   struct {
 			NsPerOp float64 `json:"ns_per_op"`
 		} `json:"after"`
 	} `json:"benchmarks"`
@@ -117,8 +133,11 @@ func loadBaseline(path string) (map[string]float64, error) {
 	}
 	out := make(map[string]float64, len(tf.Benchmarks))
 	for _, b := range tf.Benchmarks {
-		if b.After.NsPerOp > 0 {
+		switch {
+		case b.After.NsPerOp > 0:
 			out[b.Name] = b.After.NsPerOp
+		case b.NsPerOp > 0:
+			out[b.Name] = b.NsPerOp
 		}
 	}
 	return out, nil
@@ -130,7 +149,7 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 	// truncated) output as its own baseline nor destroy an existing record
 	// on the error path.
 	rec := benchRecord{
-		Schema:     "pplb-bench/3",
+		Schema:     "pplb-bench/4",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -176,20 +195,27 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 			os.Remove(path) // don't leave a truncated record behind
 			return fmt.Errorf("%s: %w", bm.Name, err)
 		}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys.Step()
 			}
 		})
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		sys.Close()
 		name := "Benchmark" + bm.Name
 		entry := benchmarkEntry{
-			Name:        name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+			Name:           name,
+			Iterations:     r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			HeapInuseBytes: after.HeapInuse,
+			GCCycles:       after.NumGC - before.NumGC,
+			GCPauseTotalNs: after.PauseTotalNs - before.PauseTotalNs,
 		}
 		delta := ""
 		if prev, ok := base[name]; ok {
@@ -198,8 +224,9 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 			delta = fmt.Sprintf("  %+.1f%% vs %s", d, rec.Baseline)
 		}
 		rec.Benchmarks = append(rec.Benchmarks, entry)
-		fmt.Fprintf(stdout, "%-32s %12.0f ns/op %8d B/op %6d allocs/op%s\n",
-			name, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp, delta)
+		fmt.Fprintf(stdout, "%-32s %12.0f ns/op %8d B/op %6d allocs/op %3d GCs %8.2f MiB heap%s\n",
+			name, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp,
+			entry.GCCycles, float64(entry.HeapInuseBytes)/(1<<20), delta)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -230,9 +257,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checksPath := fs.String("checks", "", "write a machine-readable JSON summary of all checks to this file")
 	benchJSON := fs.String("benchjson", "", "run the engine tick micro-benchmarks and write a machine-readable record to this file")
 	baseline := fs.String("baseline", "", "trajectory BENCH_*.json to diff -benchjson results against (default: highest BENCH_PR*.json in the working directory; \"none\" disables)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [-baseline FILE] [experiment ...]\n\nexperiments:\n")
+		fmt.Fprintf(stderr, "usage: pplb-bench [-full] [-list] [-out FILE] [-checks FILE] [-benchjson FILE] [-baseline FILE] [-cpuprofile FILE] [-memprofile FILE] [experiment ...]\n\nexperiments:\n")
 		for _, d := range pplb.ExperimentDescriptions() {
 			fmt.Fprintf(stderr, "  %s\n", d)
 		}
@@ -249,6 +278,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d)
 		}
 		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush pending frees so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "pplb-bench: %v\n", err)
+			}
+		}()
 	}
 
 	if *benchJSON != "" {

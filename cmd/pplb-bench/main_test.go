@@ -119,7 +119,7 @@ func TestBenchJSONDelta(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Schema != "pplb-bench/3" {
+	if rec.Schema != "pplb-bench/4" {
 		t.Fatalf("schema %q", rec.Schema)
 	}
 	if rec.GOMAXPROCS <= 0 || rec.NumCPU <= 0 {

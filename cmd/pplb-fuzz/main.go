@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	pplb-fuzz [-n 1000] [-seed 1] [-artifacts DIR] [-q]   # soak
-//	pplb-fuzz -replay FILE                                # reproduce a failure
+//	pplb-fuzz [-n 1000] [-seed 1] [-artifacts DIR] [-churn] [-q]   # soak
+//	pplb-fuzz -replay FILE                                         # reproduce a failure
 //
 // A soak runs n generated scenarios (each with its Workers=1 twin
 // bit-identity check); every failure is shrunk and, with -artifacts,
-// written as a JSON replay artifact. Exit status: 0 clean, 1 violations
-// found (or a replay that no longer reproduces), 2 usage errors.
+// written as a JSON replay artifact. -churn overlays the recycle-heavy
+// arrival/service regime on every scenario, hammering the arena free-list.
+// -cpuprofile/-memprofile write pprof profiles of the run. Exit status: 0
+// clean, 1 violations found (or a replay that no longer reproduces), 2
+// usage errors.
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pplb/internal/harness"
 )
@@ -34,6 +39,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "base seed the scenario seeds are split from")
 	artifacts := fs.String("artifacts", "", "directory for shrunk replay artifacts of failures")
 	replay := fs.String("replay", "", "replay this failure artifact instead of soaking")
+	churn := fs.Bool("churn", false, "overlay the recycle-heavy churn regime on every scenario")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -47,10 +55,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush pending frees so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+			}
+		}()
+	}
+
 	if *replay != "" {
 		return runReplay(*replay, stdout, stderr)
 	}
-	return runSoak(*n, *seed, *artifacts, *quiet, stdout, stderr)
+	return runSoak(*n, *seed, *artifacts, *churn, *quiet, stdout, stderr)
 }
 
 func runReplay(path string, stdout, stderr io.Writer) int {
@@ -74,11 +113,12 @@ func runReplay(path string, stdout, stderr io.Writer) int {
 	}
 }
 
-func runSoak(n int, seed uint64, artifacts string, quiet bool, stdout, stderr io.Writer) int {
+func runSoak(n int, seed uint64, artifacts string, churn, quiet bool, stdout, stderr io.Writer) int {
 	cfg := harness.SoakConfig{
 		BaseSeed:    seed,
 		Count:       n,
 		ArtifactDir: artifacts,
+		Tweaks:      harness.Tweaks{Churn: churn},
 	}
 	if !quiet {
 		cfg.Progress = func(done, total int) {

@@ -47,16 +47,17 @@ func (None) PlanNode(int, *sim.View, *rng.RNG) []sim.Move { return nil }
 // trivially a pure function of anything.
 func (None) PlanLocality() sim.Locality { return sim.LocalityNeighborhood }
 
-// pickTaskUpTo returns the largest resident task with load <= budget, or nil.
-// Deterministic: ties broken towards the lowest id.
-func pickTaskUpTo(tasks []*taskmodel.Task, budget float64) *taskmodel.Task {
-	var best *taskmodel.Task
-	for _, t := range tasks {
-		if t.Load > budget {
+// pickTaskUpTo returns the largest resident task with load <= budget, or
+// NoHandle. Deterministic: ties broken towards the lowest id.
+func pickTaskUpTo(st *taskmodel.Store, tasks []taskmodel.Handle, budget float64) taskmodel.Handle {
+	best := taskmodel.NoHandle
+	for _, h := range tasks {
+		l := st.Load(h)
+		if l > budget {
 			continue
 		}
-		if best == nil || t.Load > best.Load || (t.Load == best.Load && t.ID < best.ID) {
-			best = t
+		if best < 0 || l > st.Load(best) || (l == st.Load(best) && st.ID(h) < st.ID(best)) {
+			best = h
 		}
 	}
 	return best
@@ -82,13 +83,19 @@ func (d Diffusion) Name() string { return "diffusion" }
 func (d Diffusion) PlanLocality() sim.Locality { return sim.LocalityNeighborhood }
 
 // PlanNode implements sim.Policy.
-func (d Diffusion) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
-	tasks := view.Tasks(v)
+func (d Diffusion) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
+	return d.PlanNodeInto(v, view, r, nil)
+}
+
+// PlanNodeInto implements sim.MovePlanner (PlanNode into a reused buffer).
+func (d Diffusion) PlanNodeInto(v int, view *sim.View, _ *rng.RNG, moves []sim.Move) []sim.Move {
+	moves = moves[:0]
+	tasks := view.TaskHandles(v)
 	if len(tasks) == 0 {
-		return nil
+		return moves
 	}
+	st := view.TaskStore()
 	lv := view.Height(v)
-	var moves []sim.Move
 	// A node proposes at most one move per link; membership in the tiny
 	// moves slice doubles as the per-tick "already sent" set.
 	sent := func(id taskmodel.ID) bool {
@@ -119,39 +126,41 @@ func (d Diffusion) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 		// Budget is in surface-height units; a task of load L sheds
 		// L/speed(v) height from the source.
 		budget := alpha * (lv - lj) * view.Speed(v)
-		var best *taskmodel.Task
-		for _, t := range tasks {
-			if t.Load > budget || sent(t.ID) {
+		best := taskmodel.NoHandle
+		for _, h := range tasks {
+			l := st.Load(h)
+			if l > budget || sent(st.ID(h)) {
 				continue
 			}
-			if best == nil || t.Load > best.Load || (t.Load == best.Load && t.ID < best.ID) {
-				best = t
+			if best < 0 || l > st.Load(best) || (l == st.Load(best) && st.ID(h) < st.ID(best)) {
+				best = h
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			// Quantisation rounding (integral diffusion): when no task fits
 			// the budget, the smallest task may still be sent if the budget
 			// covers at least half of it — round-to-nearest, the standard
 			// remedy against the token-granularity deadlock. Guarded so the
 			// pair's gap never inverts.
-			var smallest *taskmodel.Task
-			for _, t := range tasks {
-				if sent(t.ID) {
+			smallest := taskmodel.NoHandle
+			for _, h := range tasks {
+				if sent(st.ID(h)) {
 					continue
 				}
-				if smallest == nil || t.Load < smallest.Load || (t.Load == smallest.Load && t.ID < smallest.ID) {
-					smallest = t
+				l := st.Load(h)
+				if smallest < 0 || l < st.Load(smallest) || (l == st.Load(smallest) && st.ID(h) < st.ID(smallest)) {
+					smallest = h
 				}
 			}
-			if smallest != nil && smallest.Load <= 2*budget && lv-lj > smallest.Load {
+			if smallest >= 0 && st.Load(smallest) <= 2*budget && lv-lj > st.Load(smallest) {
 				best = smallest
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			continue
 		}
-		moves = append(moves, sim.Move{TaskID: best.ID, From: v, To: j, NewFlag: sim.NaNFlag()})
-		lv -= best.Load / view.Speed(v)
+		moves = append(moves, sim.Move{TaskID: st.ID(best), From: v, To: j, NewFlag: sim.NaNFlag()})
+		lv -= st.Load(best) / view.Speed(v)
 	}
 	return moves
 }
@@ -191,21 +200,28 @@ func (d *DimensionExchange) PrepareTick(view *sim.View) {
 }
 
 // PlanNode implements sim.Policy.
-func (d *DimensionExchange) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
+func (d *DimensionExchange) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
+	return d.PlanNodeInto(v, view, r, nil)
+}
+
+// PlanNodeInto implements sim.MovePlanner (PlanNode into a reused buffer).
+func (d *DimensionExchange) PlanNodeInto(v int, view *sim.View, _ *rng.RNG, moves []sim.Move) []sim.Move {
+	moves = moves[:0]
 	j := d.partnerOf[v]
 	if j < 0 || view.LinkBusy(v, j) {
-		return nil
+		return moves
 	}
 	lv, lj := view.Height(v), view.Height(j)
 	if lv <= lj {
-		return nil // the lighter (or equal) endpoint stays silent
+		return moves // the lighter (or equal) endpoint stays silent
 	}
 	budget := (lv - lj) / 2 * view.Speed(v)
-	best := pickTaskUpTo(view.Tasks(v), budget)
-	if best == nil {
-		return nil
+	st := view.TaskStore()
+	best := pickTaskUpTo(st, view.TaskHandles(v), budget)
+	if best < 0 {
+		return moves
 	}
-	return []sim.Move{{TaskID: best.ID, From: v, To: j, NewFlag: sim.NaNFlag()}}
+	return append(moves, sim.Move{TaskID: st.ID(best), From: v, To: j, NewFlag: sim.NaNFlag()})
 }
 
 // GradientModel is the GM method of Lin & Keller: underloaded nodes have
@@ -284,14 +300,20 @@ func (g *GradientModel) PrepareTick(view *sim.View) {
 }
 
 // PlanNode implements sim.Policy.
-func (g *GradientModel) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
+func (g *GradientModel) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
+	return g.PlanNodeInto(v, view, r, nil)
+}
+
+// PlanNodeInto implements sim.MovePlanner (PlanNode into a reused buffer).
+func (g *GradientModel) PlanNodeInto(v int, view *sim.View, _ *rng.RNG, moves []sim.Move) []sim.Move {
+	moves = moves[:0]
 	_, hi := g.factors()
 	lv := view.Height(v)
 	// Senders: overloaded nodes, and intermediate nodes relaying tasks that
 	// GM routed through them (pressure gradient > 0 and non-zero pressure
 	// means we are not a sink).
 	if lv <= hi*g.mean || g.pressure[v] == 0 {
-		return nil
+		return moves
 	}
 	best := -1
 	bestP := g.pressure[v]
@@ -304,21 +326,23 @@ func (g *GradientModel) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 		}
 	}
 	if best < 0 {
-		return nil // no downhill pressure direction (or all links busy)
+		return moves // no downhill pressure direction (or all links busy)
 	}
-	tasks := view.Tasks(v)
+	tasks := view.TaskHandles(v)
 	if len(tasks) == 0 {
-		return nil
+		return moves
 	}
+	st := view.TaskStore()
 	// Send the smallest task (GM moves single work units towards the
 	// gradient; smallest-first avoids overshooting the sink).
 	smallest := tasks[0]
-	for _, t := range tasks[1:] {
-		if t.Load < smallest.Load || (t.Load == smallest.Load && t.ID < smallest.ID) {
-			smallest = t
+	for _, h := range tasks[1:] {
+		l := st.Load(h)
+		if l < st.Load(smallest) || (l == st.Load(smallest) && st.ID(h) < st.ID(smallest)) {
+			smallest = h
 		}
 	}
-	return []sim.Move{{TaskID: smallest.ID, From: v, To: best, NewFlag: sim.NaNFlag()}}
+	return append(moves, sim.Move{TaskID: st.ID(smallest), From: v, To: best, NewFlag: sim.NaNFlag()})
 }
 
 // CWN is the contracting-within-a-neighbourhood strategy: a node holding
@@ -340,15 +364,22 @@ func (c CWN) Name() string { return "cwn" }
 func (c CWN) PlanLocality() sim.Locality { return sim.LocalityNeighborhood }
 
 // PlanNode implements sim.Policy.
-func (c CWN) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
+func (c CWN) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
+	return c.PlanNodeInto(v, view, r, nil)
+}
+
+// PlanNodeInto implements sim.MovePlanner (PlanNode into a reused buffer).
+func (c CWN) PlanNodeInto(v int, view *sim.View, _ *rng.RNG, moves []sim.Move) []sim.Move {
+	moves = moves[:0]
 	maxHops := c.MaxHops
 	if maxHops <= 0 {
 		maxHops = 4
 	}
-	tasks := view.Tasks(v)
+	tasks := view.TaskHandles(v)
 	if len(tasks) == 0 {
-		return nil
+		return moves
 	}
+	st := view.TaskStore()
 	lv := view.Height(v)
 	best := -1
 	bestLoad := math.Inf(1)
@@ -361,25 +392,26 @@ func (c CWN) PlanNode(v int, view *sim.View, _ *rng.RNG) []sim.Move {
 		}
 	}
 	if best < 0 {
-		return nil
+		return moves
 	}
-	var pick *taskmodel.Task
-	for _, t := range tasks {
-		if t.Hops >= maxHops {
+	pick := taskmodel.NoHandle
+	for _, h := range tasks {
+		if st.Hops(h) >= maxHops {
 			continue
 		}
+		l := st.Load(h)
 		// Sending must strictly reduce the pairwise gap (height units).
-		if lv-t.Load/view.Speed(v) < bestLoad+t.Load/view.Speed(best) {
+		if lv-l/view.Speed(v) < bestLoad+l/view.Speed(best) {
 			continue
 		}
-		if pick == nil || t.Load > pick.Load || (t.Load == pick.Load && t.ID < pick.ID) {
-			pick = t
+		if pick < 0 || l > st.Load(pick) || (l == st.Load(pick) && st.ID(h) < st.ID(pick)) {
+			pick = h
 		}
 	}
-	if pick == nil {
-		return nil
+	if pick < 0 {
+		return moves
 	}
-	return []sim.Move{{TaskID: pick.ID, From: v, To: best, NewFlag: sim.NaNFlag()}}
+	return append(moves, sim.Move{TaskID: st.ID(pick), From: v, To: best, NewFlag: sim.NaNFlag()})
 }
 
 // RandomSender is sender-initiated adaptive load sharing: a node above the
@@ -409,6 +441,15 @@ func (r *RandomSender) PrepareTick(view *sim.View) {
 
 // PlanNode implements sim.Policy.
 func (r *RandomSender) PlanNode(v int, view *sim.View, rnd *rng.RNG) []sim.Move {
+	return r.PlanNodeInto(v, view, rnd, nil)
+}
+
+// PlanNodeInto implements sim.MovePlanner (PlanNode into a reused buffer).
+// The probe draw happens before the busy/height checks, exactly as in
+// PlanNode since the first release — the draw sequence is part of the
+// deterministic trajectory.
+func (r *RandomSender) PlanNodeInto(v int, view *sim.View, rnd *rng.RNG, moves []sim.Move) []sim.Move {
+	moves = moves[:0]
 	factor := r.ThresholdFactor
 	if factor <= 0 {
 		factor = 1
@@ -416,21 +457,22 @@ func (r *RandomSender) PlanNode(v int, view *sim.View, rnd *rng.RNG) []sim.Move 
 	threshold := factor * r.mean
 	lv := view.Height(v)
 	if lv <= threshold {
-		return nil
+		return moves
 	}
 	ns := view.Graph().Neighbors(v)
 	if len(ns) == 0 {
-		return nil
+		return moves
 	}
 	j := ns[rnd.Intn(len(ns))]
 	if view.LinkBusy(v, j) || view.Height(j) >= threshold {
-		return nil
+		return moves
 	}
-	best := pickTaskUpTo(view.Tasks(v), (lv-threshold)*view.Speed(v))
-	if best == nil {
-		return nil
+	st := view.TaskStore()
+	best := pickTaskUpTo(st, view.TaskHandles(v), (lv-threshold)*view.Speed(v))
+	if best < 0 {
+		return moves
 	}
-	return []sim.Move{{TaskID: best.ID, From: v, To: j, NewFlag: sim.NaNFlag()}}
+	return append(moves, sim.Move{TaskID: st.ID(best), From: v, To: j, NewFlag: sim.NaNFlag()})
 }
 
 // interface checks. DimensionExchange, GradientModel and RandomSender make
@@ -442,13 +484,18 @@ var (
 	_ sim.Policy           = None{}
 	_ sim.LocalityDeclarer = None{}
 	_ sim.Policy           = Diffusion{}
+	_ sim.MovePlanner      = Diffusion{}
 	_ sim.LocalityDeclarer = Diffusion{}
 	_ sim.Policy           = (*DimensionExchange)(nil)
+	_ sim.MovePlanner      = (*DimensionExchange)(nil)
 	_ sim.TickPreparer     = (*DimensionExchange)(nil)
 	_ sim.Policy           = (*GradientModel)(nil)
+	_ sim.MovePlanner      = (*GradientModel)(nil)
 	_ sim.TickPreparer     = (*GradientModel)(nil)
 	_ sim.Policy           = CWN{}
+	_ sim.MovePlanner      = CWN{}
 	_ sim.LocalityDeclarer = CWN{}
 	_ sim.Policy           = (*RandomSender)(nil)
+	_ sim.MovePlanner      = (*RandomSender)(nil)
 	_ sim.TickPreparer     = (*RandomSender)(nil)
 )

@@ -130,12 +130,14 @@ type Balancer struct {
 // projected-height and used-link tables are small dense slices instead of
 // maps keyed by node id.
 type planScratch struct {
-	byLoad []*taskmodel.Task // tasks sorted by descending load
-	cand   []int             // feasible neighbour positions
-	scores []float64         // score per candidate (parallel to cand)
-	hn     []float64         // projected neighbour heights by position
-	used   []bool            // link already claimed this tick, by position
-	cost   []float64         // e_ij per position (fault-aware as configured)
+	keys   []loadKey // (load, id, handle) sort keys, descending-load order
+	cand   []int     // feasible neighbour positions
+	scores []float64 // score per candidate (parallel to cand)
+	hn     []float64 // projected neighbour heights by position
+	used   []bool    // link already claimed this tick, by position
+	busy   []bool    // link busy at tick start, by position (claim-independent)
+	cost   []float64 // e_ij per position (fault-aware as configured)
+	spd    []float64 // service speed per neighbour position
 }
 
 // Validate reports whether the configuration describes a physically sane
@@ -216,12 +218,18 @@ func (b *Balancer) linkCost(view *sim.View, i, j int) float64 {
 //
 //	µs(l_t, v) = CsT · Σ_{u ≠ t co-located} T[t][u] + CsR · R[t][v]
 func (b *Balancer) MuS(view *sim.View, t *taskmodel.Task, v int) float64 {
+	return b.muS(view, t.ID, v)
+}
+
+// muS is MuS keyed by task id — the form the handle-based planning loops
+// use; both friction components are functions of the id alone.
+func (b *Balancer) muS(view *sim.View, id taskmodel.ID, v int) float64 {
 	mu := 0.0
 	if tg := view.TaskGraph(); tg != nil && b.cfg.CsT != 0 {
-		mu += b.cfg.CsT * view.DepWeightToNode(t.ID, v)
+		mu += b.cfg.CsT * view.DepWeightToNode(id, v)
 	}
 	if res := view.Resources(); res != nil && b.cfg.CsR != 0 {
-		mu += b.cfg.CsR * res.Affinity(t.ID, v)
+		mu += b.cfg.CsR * res.Affinity(id, v)
 	}
 	return mu
 }
@@ -230,7 +238,7 @@ func (b *Balancer) MuS(view *sim.View, t *taskmodel.Task, v int) float64 {
 //
 //	µk = Ck0 + CkProp · µs(t, v)
 func (b *Balancer) MuK(view *sim.View, t *taskmodel.Task, v int) float64 {
-	return b.cfg.Ck0 + b.cfg.CkProp*b.MuS(view, t, v)
+	return b.cfg.Ck0 + b.cfg.CkProp*b.muS(view, t.ID, v)
 }
 
 // dampFlag applies the inelastic-landing extension: the flag keeps only
@@ -247,43 +255,67 @@ func (b *Balancer) dampFlag(flag, destHeight float64) float64 {
 }
 
 // PlanNode implements sim.Policy: one tick of PPLB decisions for node v.
-//
-// All per-call working state lives in a pooled planScratch; candidate
-// neighbours are addressed by their position in Neighbors(v) so the inner
-// loops index dense slices (projected heights, claimed links, link costs by
-// canonical edge id) instead of hashing node ids.
 func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
-	tasks := view.Tasks(v)
+	return b.PlanNodeInto(v, view, r, nil)
+}
+
+// PlanNodeInto implements sim.MovePlanner: PlanNode appending into a caller
+// buffer, so a steady-state planning call allocates nothing.
+//
+// All per-call working state lives in a pooled planScratch; tasks are read
+// through the arena's handle lanes, and candidate neighbours are addressed
+// by their position in Neighbors(v) so the inner loops index dense slices
+// (projected heights, claimed links, link costs by canonical edge id)
+// instead of hashing node ids.
+func (b *Balancer) PlanNodeInto(v int, view *sim.View, r *rng.RNG, moves []sim.Move) []sim.Move {
+	tasks := view.TaskHandles(v)
 	if len(tasks) == 0 {
-		return nil
+		return moves
 	}
 	neighbors := view.Graph().Neighbors(v)
 	if len(neighbors) == 0 {
-		return nil
+		return moves
+	}
+	if len(moves) != 0 {
+		moves = moves[:0]
 	}
 	eids := view.Graph().IncidentEdgeIDs(v)
 	links := view.Links()
+	st := view.TaskStore()
 
 	sc := b.scratch.Get().(*planScratch)
 	defer b.scratch.Put(sc)
 	nn := len(neighbors)
 	sc.hn = grow(sc.hn, nn)
 	sc.cost = grow(sc.cost, nn)
+	sc.spd = grow(sc.spd, nn)
 	sc.used = growBool(sc.used, nn)
+	sc.busy = growBool(sc.busy, nn)
 	hn := sc.hn[:nn]
 	cost := sc.cost[:nn]
+	spd := sc.spd[:nn]
 	used := sc.used[:nn]
+	busy := sc.busy[:nn]
 	for k, j := range neighbors {
 		hn[k] = view.Height(j)
 		used[k] = false
+		busy[k] = view.LinkBusyEdge(eids[k])
+		spd[k] = view.Speed(j)
 		if b.cfg.FaultOblivious {
 			cost[k] = links.CostObliviousByEdge(eids[k])
 		} else {
 			cost[k] = links.CostByEdge(eids[k])
 		}
 	}
+	spdV := view.Speed(v)
+	uniform := view.UniformSpeed()
+	// Friction is zero for every task when no dependency graph or affinity
+	// table is attached (or both couplings are off) — skip the per-task µs
+	// walk entirely in that common case. The arithmetic is unchanged: µs is
+	// the same 0.0 the full computation would return.
+	hasFriction := (view.TaskGraph() != nil && b.cfg.CsT != 0) ||
+		(view.Resources() != nil && b.cfg.CsR != 0)
 
-	var moves []sim.Move
 	// Projected height of v after the departures already planned this tick.
 	hv := view.Height(v)
 	maxMoves := b.cfg.MaxMovesPerNode
@@ -294,21 +326,28 @@ func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
 	// Pass 1: in-motion tasks (inertia continuation) — they carry momentum
 	// and decide first, exactly as the physical particle in flight.
 	if !b.cfg.DisableInertia {
-		for _, t := range tasks {
+		for _, h := range tasks {
 			if len(moves) >= maxMoves {
 				break
 			}
-			if !t.Moving {
+			if !st.Moving(h) {
 				continue
 			}
-			muK := b.MuK(view, t, v)
+			id := st.ID(h)
+			flag := st.Flag(h)
+			prev := st.Prev(h)
+			muSv := 0.0
+			if hasFriction {
+				muSv = b.muS(view, id, v)
+			}
+			muK := b.cfg.Ck0 + b.cfg.CkProp*muSv
 			cand := sc.cand[:0]
 			scores := sc.scores[:0]
 			for k, j := range neighbors {
-				if used[k] || view.LinkBusyEdge(eids[k]) || j == t.Prev {
+				if used[k] || busy[k] || j == prev {
 					continue
 				}
-				a := t.Flag - muK*cost[k] - hn[k]
+				a := flag - muK*cost[k] - hn[k]
 				if a > 0 {
 					cand = append(cand, k)
 					scores = append(scores, a)
@@ -320,48 +359,79 @@ func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
 			}
 			pick := b.chooser.Choose(scores, view.Tick(), r)
 			k := cand[pick]
-			newFlag := b.dampFlag(t.Flag-muK*cost[k], hn[k])
+			newFlag := b.dampFlag(flag-muK*cost[k], hn[k])
 			j := neighbors[k]
 			moves = append(moves, sim.Move{
-				TaskID: t.ID, From: v, To: j,
+				TaskID: id, From: v, To: j,
 				NewFlag: newFlag, Moving: true,
 			})
 			used[k] = true
-			hv -= t.Load / view.Speed(v)
-			hn[k] += t.Load / view.Speed(j)
+			load := st.Load(h)
+			if uniform {
+				hv -= load
+				hn[k] += load
+			} else {
+				hv -= load / spdV
+				hn[k] += load / spd[k]
+			}
 		}
 	}
 
 	// Pass 2: stationary tasks, heaviest first (the highest-pressure
-	// particles are released first).
-	sc.byLoad = byLoadDescInto(sc.byLoad, tasks)
-	for _, t := range sc.byLoad {
+	// particles are released first). The sort runs over precomputed
+	// (load, id) keys so comparisons never touch the arena lanes.
+	sc.keys = byLoadDescKeys(sc.keys, tasks, st)
+	for i := range sc.keys {
 		if len(moves) >= maxMoves {
 			break
 		}
-		if t.Moving && !b.cfg.DisableInertia {
+		h := sc.keys[i].h
+		if st.Moving(h) && !b.cfg.DisableInertia {
 			continue // handled in pass 1
 		}
-		muS := b.MuS(view, t, v)
-		muK := b.MuK(view, t, v)
+		id := sc.keys[i].id
+		load := sc.keys[i].load
+		muS := 0.0
+		if hasFriction {
+			muS = b.muS(view, id, v)
+		}
+		muK := b.cfg.Ck0 + b.cfg.CkProp*muS
 		cand := sc.cand[:0]
 		scores := sc.scores[:0]
 		// The −2l correction generalised to heterogeneous speeds: moving
 		// load L lowers the source surface by L/s_i and raises the
-		// destination by L/s_j (both equal L on homogeneous systems).
-		srcDrop := t.Load / view.Speed(v)
-		for k, j := range neighbors {
-			if used[k] || view.LinkBusyEdge(eids[k]) {
-				continue
-			}
-			adj := srcDrop + t.Load/view.Speed(j)
+		// destination by L/s_j (both equal L on homogeneous systems, where
+		// the divisions by 1.0 are dropped without changing a single bit).
+		if uniform {
+			adj := load + load
 			if b.cfg.DisableTransferAdjustment {
 				adj = 0
 			}
-			tanBeta := (hv - hn[k] - adj) / cost[k]
-			if tanBeta > muS {
-				cand = append(cand, k)
-				scores = append(scores, tanBeta-muS)
+			for k := range neighbors {
+				if used[k] || busy[k] {
+					continue
+				}
+				tanBeta := (hv - hn[k] - adj) / cost[k]
+				if tanBeta > muS {
+					cand = append(cand, k)
+					scores = append(scores, tanBeta-muS)
+				}
+			}
+		} else {
+			srcDrop := load / spdV
+			for k := range neighbors {
+				if used[k] || busy[k] {
+					continue
+				}
+				adj := srcDrop + load/spd[k]
+				if b.cfg.DisableTransferAdjustment {
+					adj = 0
+				}
+				tanBeta := (hv - hn[k] - adj) / cost[k]
+				if tanBeta > muS {
+					cand = append(cand, k)
+					scores = append(scores, tanBeta-muS)
+				}
 			}
 		}
 		sc.cand, sc.scores = cand, scores
@@ -374,12 +444,17 @@ func (b *Balancer) PlanNode(v int, view *sim.View, r *rng.RNG) []sim.Move {
 		newFlag := b.dampFlag(hv-muK*cost[k], hn[k])
 		j := neighbors[k]
 		moves = append(moves, sim.Move{
-			TaskID: t.ID, From: v, To: j,
+			TaskID: id, From: v, To: j,
 			NewFlag: newFlag, Moving: !b.cfg.DisableInertia,
 		})
 		used[k] = true
-		hv -= t.Load / view.Speed(v)
-		hn[k] += t.Load / view.Speed(j)
+		if uniform {
+			hv -= load
+			hn[k] += load
+		} else {
+			hv -= load / spdV
+			hn[k] += load / spd[k]
+		}
 	}
 	return moves
 }
@@ -400,15 +475,27 @@ func growBool(s []bool, n int) []bool {
 	return s[:n]
 }
 
-// byLoadDescInto fills dst with tasks ordered by descending load, reusing
-// dst's capacity; determinism requires the id tiebreak.
-func byLoadDescInto(dst []*taskmodel.Task, tasks []*taskmodel.Task) []*taskmodel.Task {
-	dst = append(dst[:0], tasks...)
-	slices.SortFunc(dst, func(a, b *taskmodel.Task) int {
-		if a.Load != b.Load {
-			return cmp.Compare(b.Load, a.Load)
+// loadKey is a task's sort key for the heaviest-first pass, read out of the
+// arena once so the sort comparator works on a dense local slice.
+type loadKey struct {
+	load float64
+	id   taskmodel.ID
+	h    taskmodel.Handle
+}
+
+// byLoadDescKeys fills dst with (load, id, handle) keys ordered by descending
+// load, reusing dst's capacity; determinism requires the id tiebreak (never
+// the handle values, which are storage addresses).
+func byLoadDescKeys(dst []loadKey, tasks []taskmodel.Handle, st *taskmodel.Store) []loadKey {
+	dst = dst[:0]
+	for _, h := range tasks {
+		dst = append(dst, loadKey{load: st.Load(h), id: st.ID(h), h: h})
+	}
+	slices.SortFunc(dst, func(a, b loadKey) int {
+		if a.load != b.load {
+			return cmp.Compare(b.load, a.load)
 		}
-		return cmp.Compare(a.ID, b.ID)
+		return cmp.Compare(a.id, b.id)
 	})
 	return dst
 }
@@ -433,5 +520,6 @@ func (b *Balancer) FeasibleMoving(view *sim.View, t *taskmodel.Task, i, j int) (
 // ensure interface compliance
 var (
 	_ sim.Policy           = (*Balancer)(nil)
+	_ sim.MovePlanner      = (*Balancer)(nil)
 	_ sim.LocalityDeclarer = (*Balancer)(nil)
 )

@@ -83,9 +83,10 @@ func TestMuSFromDependenciesAndResources(t *testing.T) {
 		t.Fatalf("µs with dep+resource = %v, want 4", got)
 	}
 	// Dependency to a task on ANOTHER node does not pin the task here.
-	t2 := taskmodel.New(1000, 1, 2, 0)
-	e.State().Queue(2).Add(t2)
-	tg.SetDep(t0.ID, t2.ID, 10)
+	st := e.State().TaskStore()
+	h2 := st.Create(1000, 1, 2, 0)
+	e.State().Queue(2).Add(h2)
+	tg.SetDep(t0.ID, st.ID(h2), 10)
 	if got := b.MuS(view, t0, 0); got != 4 {
 		t.Fatalf("remote dependency must not add to µs: %v", got)
 	}
@@ -477,17 +478,18 @@ func TestHeterogeneousEquilibrium(t *testing.T) {
 }
 
 func TestByLoadDescOrdering(t *testing.T) {
-	tasks := []*taskmodel.Task{
-		taskmodel.New(3, 1, 0, 0),
-		taskmodel.New(1, 5, 0, 0),
-		taskmodel.New(2, 5, 0, 0),
+	st := taskmodel.NewStore()
+	tasks := []taskmodel.Handle{
+		st.Create(3, 1, 0, 0),
+		st.Create(1, 5, 0, 0),
+		st.Create(2, 5, 0, 0),
 	}
-	out := byLoadDescInto(nil, tasks)
-	if out[0].ID != 1 || out[1].ID != 2 || out[2].ID != 3 {
-		t.Fatalf("order wrong: %v %v %v", out[0].ID, out[1].ID, out[2].ID)
+	out := byLoadDescKeys(nil, tasks, st)
+	if out[0].id != 1 || out[1].id != 2 || out[2].id != 3 {
+		t.Fatalf("order wrong: %v %v %v", out[0].id, out[1].id, out[2].id)
 	}
 	// Input untouched.
-	if tasks[0].ID != 3 {
+	if st.ID(tasks[0]) != 3 {
 		t.Fatal("byLoadDesc must not mutate input")
 	}
 }

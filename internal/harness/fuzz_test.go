@@ -31,13 +31,17 @@ var nearEquilibriumSeeds = []uint64{
 func FuzzScenario(f *testing.F) {
 	corpus := rng.New(0xF00D)
 	for i := uint64(0); i < 12; i++ {
-		f.Add(corpus.Split(i).Uint64())
+		seed := corpus.Split(i).Uint64()
+		f.Add(seed, false)
+		if i < 4 {
+			f.Add(seed, true) // recycle-heavy churn overlay on a sample
+		}
 	}
 	for _, seed := range nearEquilibriumSeeds {
-		f.Add(seed)
+		f.Add(seed, false)
 	}
-	f.Fuzz(func(t *testing.T, seed uint64) {
-		spec := Spec{Seed: seed}
+	f.Fuzz(func(t *testing.T, seed uint64, churn bool) {
+		spec := Spec{Seed: seed, Tweaks: Tweaks{Churn: churn}}
 		out := Run(spec)
 		if out.Violation == nil {
 			return

@@ -48,6 +48,13 @@ type Tweaks struct {
 	// conservation leak with this period — the fault-injection knob the
 	// harness's own self-tests use to prove the invariant engine works.
 	LeakEvery int64 `json:"leak_every,omitempty"`
+	// Churn overlays a recycle-heavy regime on the generated scenario: a
+	// burst arrival every tick plus a high service rate, so task slots are
+	// created and released constantly and the arena's free-list recycling,
+	// id→handle index and queue slot lanes get hammered. Like every tweak
+	// it consumes no randomness, so churn variants of the pinned corpus
+	// replay the corpus's own draws.
+	Churn bool `json:"churn,omitempty"`
 }
 
 // Spec identifies one scenario exactly: the generator seed plus the
@@ -77,6 +84,9 @@ func (s Spec) String() string {
 	}
 	if tw.LeakEvery > 0 {
 		out += fmt.Sprintf(" leak=%d", tw.LeakEvery)
+	}
+	if tw.Churn {
+		out += " churn"
 	}
 	return out
 }
@@ -298,6 +308,15 @@ func Generate(spec Spec) *Scenario {
 	}
 	if rArr.Bernoulli(0.5) {
 		sc.ServiceRate = rArr.Range(0.02, 0.3)
+	}
+	if spec.Tweaks.Churn {
+		// Recycle-heavy overlay: one burst of ~n small tasks every tick and
+		// service fast enough to drain them, so completions free arena slots
+		// at the same rate arrivals recycle them. Parameters are fixed (no
+		// draws) — tweaks must consume no randomness.
+		sc.Arrivals = workload.BurstArrivals(1, n, 0.5, n)
+		sc.ServiceRate = 1
+		arrDesc = "churn"
 	}
 
 	// Policy: mostly PPLB (default and perturbed-constant variants), the

@@ -41,6 +41,32 @@ func TestHarnessSmoke(t *testing.T) {
 	t.Logf("soak: %d scenarios, families %v, policies %v", res.Ran, res.Families, res.Policies)
 }
 
+// TestHarnessChurnSmoke is the recycle-heavy leg of the merge gate: the
+// same generated corpus shape as TestHarnessSmoke but with the Churn tweak
+// overlaid, so every tick creates and completes tasks and the arena
+// free-list, id→handle index and queue slot lanes recycle constantly under
+// the full invariant suite (including store-consistency's brute-force
+// scan) and both bit-identity twins.
+func TestHarnessChurnSmoke(t *testing.T) {
+	const count = 60
+	res, err := Soak(SoakConfig{
+		BaseSeed:    0xC0FFEE + 1,
+		Count:       count,
+		Tweaks:      Tweaks{Churn: true},
+		ArtifactDir: os.Getenv("PPLB_HARNESS_ARTIFACT_DIR"),
+	})
+	if err != nil {
+		t.Error(err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("churn scenario failed: %s", f)
+	}
+	if res.Ran != count {
+		t.Errorf("ran %d of %d scenarios", res.Ran, count)
+	}
+	t.Logf("churn soak: %d scenarios, families %v, policies %v", res.Ran, res.Families, res.Policies)
+}
+
 // TestHarnessSoak is the nightly long soak, gated behind an env var:
 //
 //	PPLB_HARNESS_SOAK_COUNT=5000 go test -run TestHarnessSoak -timeout 60m ./internal/harness

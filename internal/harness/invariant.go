@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pplb/internal/sim"
+	"pplb/internal/taskmodel"
 )
 
 // Violation records one invariant failure. The detail string is formatted
@@ -37,6 +38,7 @@ func StandardInvariants() []Invariant {
 		&queueSanity{},
 		&transferAccounting{},
 		&counterSanity{},
+		&storeConsistency{},
 	}
 }
 
@@ -127,6 +129,54 @@ func (transferAccounting) Check(s *sim.State) string {
 	}
 	if s.InFlight() == 0 && s.InFlightLoad() != 0 {
 		return fmt.Sprintf("empty network but InFlightLoad = %g", s.InFlightLoad())
+	}
+	return ""
+}
+
+// storeConsistency audits the arena against a brute-force scan: every
+// queue's handle list, slot lanes and cached total agree with the store
+// (Queue.CheckConsistency), every in-flight transfer holds a live handle,
+// the live-slot count matches residents + in-flight, and the id→handle
+// index round-trips for every id ever issued. This is the recycle-churn
+// safety net: a free-list bug (double release, stale byID entry, slot lane
+// desync after a tail-shift) surfaces here even when load totals happen to
+// balance out.
+type storeConsistency struct{}
+
+func (storeConsistency) Name() string { return "store-consistency" }
+
+func (storeConsistency) Check(s *sim.State) string {
+	st := s.TaskStore()
+	resident := 0
+	for v := 0; v < s.Graph().N(); v++ {
+		q := s.Queue(v)
+		if err := q.CheckConsistency(); err != nil {
+			return fmt.Sprintf("node %d: %v", v, err)
+		}
+		resident += q.Len()
+	}
+	inflight := 0
+	dead := ""
+	s.VisitTransfers(func(h taskmodel.Handle, from, to int) {
+		inflight++
+		if dead == "" && !st.Alive(h) {
+			dead = fmt.Sprintf("transfer %d->%d holds dead handle %d", from, to, h)
+		}
+	})
+	if dead != "" {
+		return dead
+	}
+	if live := st.Live(); live != resident+inflight {
+		return fmt.Sprintf("%d live slots but %d resident + %d in flight", live, resident, inflight)
+	}
+	for id := taskmodel.ID(0); id < st.IDBound(); id++ {
+		h := st.HandleOf(id)
+		if h == taskmodel.NoHandle {
+			continue
+		}
+		if !st.Alive(h) || st.ID(h) != id {
+			return fmt.Sprintf("id %d maps to handle %d (alive=%t id=%d)", id, h, st.Alive(h), st.ID(h))
+		}
 	}
 	return ""
 }

@@ -20,6 +20,9 @@ type SoakConfig struct {
 	ArtifactDir string
 	// Progress, when non-nil, is called after every scenario.
 	Progress func(done, total int)
+	// Tweaks is applied to every generated spec — e.g. Churn overlays the
+	// recycle-heavy arrival/service regime on the whole soak.
+	Tweaks Tweaks
 }
 
 // Failure is one soak counterexample: the original failing spec, the
@@ -61,7 +64,7 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 	}
 	base := rng.New(cfg.BaseSeed)
 	for i := 0; i < cfg.Count; i++ {
-		spec := Spec{Seed: base.Split(uint64(i)).Uint64()}
+		spec := Spec{Seed: base.Split(uint64(i)).Uint64(), Tweaks: cfg.Tweaks}
 		out := Run(spec)
 		res.Ran++
 		res.Families[out.Scenario.Family]++

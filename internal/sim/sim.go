@@ -94,6 +94,16 @@ type Policy interface {
 	PlanNode(v int, view *View, r *rng.RNG) []Move
 }
 
+// MovePlanner is an optional Policy extension for allocation-free planning:
+// PlanNodeInto appends node v's proposals to buf — the engine passes each
+// node's persistent plan buffer, truncated to length 0 — and returns it
+// (possibly regrown). Implementations must propose exactly the moves
+// PlanNode would; the engine prefers this path, so a policy implementing it
+// allocates no move slice in steady state.
+type MovePlanner interface {
+	PlanNodeInto(v int, view *View, r *rng.RNG, buf []Move) []Move
+}
+
 // TickPreparer is an optional Policy extension: PrepareTick runs once per
 // tick, sequentially, before the PlanNode fan-out. Global-relaxation
 // policies (the GM gradient map) use it to refresh shared per-tick state.
@@ -147,6 +157,11 @@ type State struct {
 	tgraph *taskmodel.Graph
 	res    *taskmodel.Resources
 
+	// tasks is the arena every task in the system lives in: queues and the
+	// transfer shards hold handles into it, so the steady-state tick touches
+	// flat lanes only and the GC scan set does not grow with live tasks.
+	tasks *taskmodel.Store
+
 	queues   []taskmodel.Queue
 	linkBusy []bool
 	speeds   []float64 // per-node processing speed (nil = uniform 1)
@@ -163,6 +178,14 @@ type State struct {
 	// the per-tick hot-path reads are O(1) instead of scans.
 	inflightTo   []float64 // load in flight towards each node
 	inflightLoad float64   // Σ load over all transfers
+
+	// inflightStamp[v] == inflightEpoch marks v as touched in inflightTo
+	// since the last aggregate reset, so the reset zeroes only the touched
+	// entries (recorded per shard) instead of memclr-ing all N floats.
+	// Stamps are written only by the shard that owns v, epochs only advance
+	// in the single-threaded reduce.
+	inflightStamp []int32
+	inflightEpoch int32
 
 	counters Counters
 	respTime stats.Online // response time of completed tasks
@@ -246,6 +269,11 @@ func (v *View) Load(n int) float64 { return v.s.queues[n].Total() }
 // Speed returns the processing speed of node n (1 for homogeneous systems).
 func (v *View) Speed(n int) float64 { return v.s.Speed(n) }
 
+// UniformSpeed reports whether every node runs at speed 1 (no Speeds were
+// configured), letting policies skip per-node speed divisions — division by
+// 1.0 is exact, so a uniform fast path is bit-identical to the general one.
+func (v *View) UniformSpeed() bool { return v.s.speeds == nil }
+
 // Height returns h(v) — the height of the load surface at node n. On a
 // homogeneous system this is the raw load; with heterogeneous speeds it is
 // load/speed, the *time to drain* the node, which is the quantity a
@@ -257,9 +285,18 @@ func (v *View) Height(n int) float64 { return v.s.Height(n) }
 // Heights materialises the full height vector.
 func (v *View) Heights() []float64 { return v.s.Heights() }
 
-// Tasks returns the tasks resident at node n. Read-only: policies must not
-// mutate tasks or the slice.
+// Tasks materialises snapshots of the tasks resident at node n, in canonical
+// insertion order. Allocates per call — the compatibility view for examples,
+// tests and metrics; hot policies use TaskHandles with the store lanes.
 func (v *View) Tasks(n int) []*taskmodel.Task { return v.s.queues[n].Tasks() }
+
+// TaskHandles returns the handles of the tasks resident at node n, in
+// canonical insertion order. Read-only and allocation-free; field access
+// goes through TaskStore.
+func (v *View) TaskHandles(n int) []taskmodel.Handle { return v.s.queues[n].Handles() }
+
+// TaskStore returns the arena holding every task's fields.
+func (v *View) TaskStore() *taskmodel.Store { return v.s.tasks }
 
 // HasTask reports whether the task with the given id is resident at node n.
 // This is the read-only membership accessor that replaced the shared-mutable
@@ -359,6 +396,21 @@ func (s *State) Links() *linkmodel.Params { return s.links }
 // Queue returns the task queue of node n (mutable; engine internal and
 // test use).
 func (s *State) Queue(n int) *taskmodel.Queue { return &s.queues[n] }
+
+// TaskStore returns the task arena (metrics, harness and test use).
+func (s *State) TaskStore() *taskmodel.Store { return s.tasks }
+
+// VisitTransfers calls f for every transfer currently in flight, in
+// canonical order (ascending destination shard, store order within a
+// shard). Harness and test use.
+func (s *State) VisitTransfers(f func(h taskmodel.Handle, from, to int)) {
+	for k := range s.shards {
+		sh := &s.shards[k]
+		for i, h := range sh.task {
+			f(h, int(sh.from[i]), int(sh.to[i]))
+		}
+	}
+}
 
 // InFlight returns the number of transfers currently on links.
 func (s *State) InFlight() int {
@@ -466,9 +518,13 @@ type Engine struct {
 	// Per-shard per-tick scratch (outboxes + partial reductions).
 	parts [numShards]shardPart
 
-	movingNext   []movingRec                  // scratch for rebuilding movingResident
-	arrShard     [numShards][]*taskmodel.Task // arrival batch bucketed by owning shard
-	hadTransfers bool                         // transfers existed when advancement began
+	// planInto is the policy's allocation-free planning face, nil when the
+	// policy only implements PlanNode.
+	planInto MovePlanner
+
+	movingNext   []movingRec                   // scratch for rebuilding movingResident
+	arrShard     [numShards][]taskmodel.Handle // arrival batch bucketed by owning shard
+	hadTransfers bool                          // transfers existed when advancement began
 
 	// fanShards is the scratch list of shard ids behind the subset fan-outs
 	// (active planning shards, occupied service shards). Phases run
@@ -529,18 +585,24 @@ func New(cfg Config) (*Engine, error) {
 	}
 	n := cfg.Graph.N()
 	s := &State{
-		g:          cfg.Graph,
-		links:      cfg.Links,
-		tgraph:     cfg.TaskGraph,
-		res:        cfg.Resources,
-		queues:     make([]taskmodel.Queue, n),
-		linkBusy:   make([]bool, cfg.Graph.NumEdges()),
-		inflightTo: make([]float64, n),
-		nodeShard:  make([]uint8, n),
-		speeds:     cfg.Speeds,
-		occupied:   newNodeBits(n),
+		g:             cfg.Graph,
+		links:         cfg.Links,
+		tgraph:        cfg.TaskGraph,
+		res:           cfg.Resources,
+		tasks:         taskmodel.NewStore(),
+		queues:        make([]taskmodel.Queue, n),
+		linkBusy:      make([]bool, cfg.Graph.NumEdges()),
+		inflightTo:    make([]float64, n),
+		inflightStamp: make([]int32, n),
+		inflightEpoch: 1,
+		nodeShard:     make([]uint8, n),
+		speeds:        cfg.Speeds,
+		occupied:      newNodeBits(n),
 	}
 	s.view.s = s
+	for v := range s.queues {
+		s.queues[v].Init(s.tasks, v)
+	}
 	for k := 0; k <= numShards; k++ {
 		s.shardLo[k] = k * n / numShards
 	}
@@ -558,6 +620,9 @@ func New(cfg Config) (*Engine, error) {
 		arrivalRNG: base.Split(3),
 		planBuf:    make([][]Move, n),
 		planEdge:   make([][]int32, n),
+	}
+	if mp, ok := cfg.Policy.(MovePlanner); ok {
+		e.planInto = mp
 	}
 	e.runPlanFilter = e.planFilterShard
 	e.runApply = e.applyShard
@@ -599,23 +664,23 @@ func New(cfg Config) (*Engine, error) {
 // injection (id assignment and the Injected counter are always sequential);
 // queue placement is the caller's concern. Both arrival paths — inline and
 // sharded fan-out — go through here, so their accounting cannot drift apart.
-func (e *Engine) createTask(node int, load float64) *taskmodel.Task {
+func (e *Engine) createTask(node int, load float64) taskmodel.Handle {
 	s := e.state
-	t := taskmodel.New(s.nextTaskID, load, node, s.tick)
+	h := s.tasks.Create(s.nextTaskID, load, node, s.tick)
 	s.nextTaskID++
 	s.counters.Injected += load
-	return t
+	return h
 }
 
-func (e *Engine) inject(node int, load float64) *taskmodel.Task {
+func (e *Engine) inject(node int, load float64) taskmodel.Handle {
 	if load <= 0 {
-		return nil
+		return taskmodel.NoHandle
 	}
-	t := e.createTask(node, load)
-	e.state.queues[node].Add(t)
+	h := e.createTask(node, load)
+	e.state.queues[node].Add(h)
 	e.state.noteTaskAdded(node)
 	e.markDirtyNeighborhood(node)
-	return t
+	return h
 }
 
 // State exposes the simulation state (for metrics and tests).
@@ -738,10 +803,20 @@ func (e *Engine) Step() {
 	// Settle inertial tasks that did not continue their slide: the particle
 	// has come to rest in this valley. Settling flips a planning input (the
 	// Moving flag feeds the inertia pass) but one invisible to neighbours,
-	// so only the task's own node is re-activated.
+	// so only the task's own node is re-activated. The id revalidation skips
+	// records whose task was delivered and fully serviced in one tick — its
+	// slot was released in that tick's reduce and may already hold a new
+	// task. (Skipping is outcome-identical to the pre-arena engine: a dead
+	// task's Moving flag is not a planning input, and the node either
+	// produced an empty plan — which the locality contract pins to stay
+	// empty — or was re-marked anyway.)
+	st := s.tasks
 	for _, mr := range prevMoving {
-		if mr.t.Moving && mr.t.MovedTick != s.tick {
-			mr.t.Moving = false
+		if st.ID(mr.h) != mr.id {
+			continue
+		}
+		if st.Moving(mr.h) && st.MovedTick(mr.h) != s.tick {
+			st.SetMoving(mr.h, false)
 			e.markDirty(int(mr.node))
 		}
 	}
@@ -840,7 +915,15 @@ func (e *Engine) planFilterShard(k int, r *rng.RNG) {
 func (e *Engine) planNode(v int, p *shardPart, r *rng.RNG, tickBase uint64) {
 	s := e.state
 	e.planBase.SplitInto(tickBase+uint64(v), r)
-	moves := e.cfg.Policy.PlanNode(v, s.View(), r)
+	var moves []Move
+	if e.planInto != nil {
+		// Allocation-free path: the node's persistent plan buffer (retired to
+		// length 0 after its last use) is handed to the policy for reuse.
+		moves = e.planInto.PlanNodeInto(v, s.View(), r, e.planBuf[v][:0])
+		e.planBuf[v] = moves[:0] // keep regrown capacity even on empty plans
+	} else {
+		moves = e.cfg.Policy.PlanNode(v, s.View(), r)
+	}
 	if len(moves) == 0 {
 		return
 	}
@@ -944,6 +1027,7 @@ func opposing(moves []Move, v int) bool {
 // transfer records in the outbox of the destination's shard.
 func (e *Engine) applyShard(k int, _ *rng.RNG) {
 	s := e.state
+	st := s.tasks
 	p := &e.parts[k]
 	for _, va := range p.active {
 		v := int(va)
@@ -955,8 +1039,8 @@ func (e *Engine) applyShard(k int, _ *rng.RNG) {
 				p.counters.Rejected++
 				continue
 			}
-			t := s.queues[v].Remove(m.TaskID)
-			if t == nil {
+			h := s.queues[v].Remove(m.TaskID)
+			if h < 0 {
 				p.counters.Rejected++ // unreachable: residency checked in filter
 				continue
 			}
@@ -966,16 +1050,16 @@ func (e *Engine) applyShard(k int, _ *rng.RNG) {
 			// neighbour of v, so one neighbourhood mark covers the link too.
 			e.markDirtyNeighborhood(v)
 			if !math.IsNaN(m.NewFlag) {
-				t.Flag = m.NewFlag
+				st.SetFlag(h, m.NewFlag)
 			}
 			eid := eids[i]
 			s.linkBusy[eid] = true // sole winner of this link writes it
-			t.MovedTick = s.tick
-			p.inflightD += t.Load
+			st.SetMovedTick(h, s.tick)
+			p.inflightD += st.Load(h)
 			dst := s.nodeShard[m.To]
 			p.outMask |= 1 << dst
 			p.out[dst] = append(p.out[dst], transferRec{
-				task:      t,
+				task:      h,
 				from:      int32(v),
 				to:        int32(m.To),
 				edge:      eid,
@@ -1002,8 +1086,12 @@ func (e *Engine) commitOutboxes(j int) {
 		recs := e.parts[k].out[j]
 		for i := range recs {
 			sh.push(recs[i])
-			s.inflightTo[recs[i].to] += recs[i].task.Load
-			recs[i].task = nil
+			to := recs[i].to
+			s.inflightTo[to] += s.tasks.Load(recs[i].task)
+			if s.inflightStamp[to] != s.inflightEpoch {
+				s.inflightStamp[to] = s.inflightEpoch
+				e.parts[j].inflightTouched = append(e.parts[j].inflightTouched, to)
+			}
 		}
 		e.parts[k].out[j] = recs[:0]
 	}
@@ -1015,7 +1103,10 @@ func (e *Engine) commitMovesShard(j int, _ *rng.RNG) {
 	e.commitOutboxes(j)
 	p := &e.parts[j]
 	for _, v := range p.active {
-		e.planBuf[v] = nil
+		// Retire to length 0, keeping capacity: the buffer is reused by the
+		// next PlanNodeInto call, and a zero-length header is what the
+		// cross-node opposing() read expects from a node with no live plan.
+		e.planBuf[v] = e.planBuf[v][:0]
 		e.planEdge[v] = e.planEdge[v][:0]
 	}
 	p.active = p.active[:0]
@@ -1034,6 +1125,7 @@ func (e *Engine) commitBouncesShard(j int, _ *rng.RNG) {
 // in place; the store allocates nothing in steady state.
 func (e *Engine) advanceShard(k int, r *rng.RNG) {
 	s := e.state
+	st := s.tasks
 	sh := &s.shards[k]
 	p := &e.parts[k]
 	w := 0
@@ -1049,11 +1141,12 @@ func (e *Engine) advanceShard(k int, r *rng.RNG) {
 			continue
 		}
 		eid := int(sh.edge[i])
-		t := sh.task[i]
+		h := sh.task[i]
+		load := st.Load(h)
 		cost := s.links.CostByEdge(eid)
 		if !sh.bounce[i] {
 			if fp := s.links.DeliveryFailureProbByEdge(eid); fp > 0 {
-				e.tickFault.SplitInto(uint64(t.ID), r)
+				e.tickFault.SplitInto(uint64(st.ID(h)), r)
 				if r.Bernoulli(fp) {
 					// Link fault: the task bounces back to the sender,
 					// occupying the link again for the return trip. The
@@ -1061,12 +1154,12 @@ func (e *Engine) advanceShard(k int, r *rng.RNG) {
 					// are not themselves faultable (the retreat is local
 					// recovery, not a fresh transmission).
 					p.counters.Faults++
-					p.counters.BouncedTraffic += t.Load * cost
-					s.inflightTo[sh.to[i]] -= t.Load
+					p.counters.BouncedTraffic += load * cost
+					s.inflightTo[sh.to[i]] -= load
 					dst := s.nodeShard[sh.from[i]]
 					p.outMask |= 1 << dst
 					p.out[dst] = append(p.out[dst], transferRec{
-						task:      t,
+						task:      h,
 						from:      sh.to[i],
 						to:        sh.from[i],
 						edge:      sh.edge[i],
@@ -1080,26 +1173,26 @@ func (e *Engine) advanceShard(k int, r *rng.RNG) {
 		// Delivery (or bounce completion).
 		s.linkBusy[eid] = false
 		to := int(sh.to[i])
-		s.queues[to].Add(t)
+		s.queues[to].Add(h)
 		s.noteTaskAdded(to)
 		// to's load rose and the link freed; the sender is a neighbour of
 		// to, so the neighbourhood mark re-activates it as well. A bounce
 		// *start* needs no mark: the link stays busy and only inflightTo
 		// changes, which is outside the locality contract.
 		e.markDirtyNeighborhood(to)
-		s.inflightTo[to] -= t.Load
-		p.inflightD -= t.Load
+		s.inflightTo[to] -= load
+		p.inflightD -= load
 		if sh.bounce[i] {
-			t.Moving = false
+			st.SetMoving(h, false)
 		} else {
-			t.Prev = int(sh.from[i])
-			t.Hops++
+			st.SetPrev(h, int(sh.from[i]))
+			st.AddHop(h)
 			p.counters.Migrations++
-			p.counters.MigratedLoad += t.Load
-			p.counters.Traffic += t.Load * cost
-			t.Moving = sh.moving[i]
+			p.counters.MigratedLoad += load
+			p.counters.Traffic += load * cost
+			st.SetMoving(h, sh.moving[i])
 			if sh.moving[i] {
-				p.moving = append(p.moving, movingRec{t: t, node: sh.to[i]})
+				p.moving = append(p.moving, movingRec{h: h, id: st.ID(h), node: sh.to[i]})
 			}
 		}
 	}
@@ -1156,12 +1249,12 @@ func (e *Engine) serviceShard(k int, _ *rng.RNG) {
 func (e *Engine) injectShard(k int, _ *rng.RNG) {
 	s := e.state
 	bucket := e.arrShard[k]
-	for _, t := range bucket {
-		s.queues[t.Origin].Add(t)
-		s.noteTaskAdded(t.Origin)
-		e.markDirtyNeighborhood(t.Origin)
+	for _, h := range bucket {
+		v := s.tasks.Origin(h)
+		s.queues[v].Add(h)
+		s.noteTaskAdded(v)
+		e.markDirtyNeighborhood(v)
 	}
-	clear(bucket)
 	e.arrShard[k] = bucket[:0]
 }
 
@@ -1170,6 +1263,7 @@ func (e *Engine) injectShard(k int, _ *rng.RNG) {
 // parallel engines — then maintains the in-flight aggregates' drift guards.
 func (e *Engine) reduce() {
 	s := e.state
+	st := s.tasks
 	next := e.movingNext[:0]
 	for k := 0; k < numShards; k++ {
 		p := &e.parts[k]
@@ -1179,30 +1273,31 @@ func (e *Engine) reduce() {
 		p.dirty = false
 		s.counters.add(p.counters)
 		s.inflightLoad += p.inflightD
-		for _, t := range p.done {
+		// Completed tasks leave the arena here — inside the ascending-shard
+		// fold, so the free-list order (and with it every future handle
+		// assignment) is identical no matter which worker ran which shard.
+		for _, h := range p.done {
 			s.counters.TasksCompleted++
-			s.respTime.Add(float64(t.Done - t.Birth))
+			s.respTime.Add(float64(st.Done(h) - st.Birth(h)))
+			st.Release(h)
 		}
 		next = append(next, p.moving...)
 		p.counters = Counters{}
 		p.inflightD = 0
-		clear(p.done)
 		p.done = p.done[:0]
-		clear(p.moving)
 		p.moving = p.moving[:0]
 	}
 	old := s.movingResident
-	clear(old)
 	e.movingNext = old[:0]
 	s.movingResident = next
 
 	if e.hadTransfers && s.InFlight() == 0 {
 		// Quiescent network: reset the aggregates so incremental float
-		// arithmetic cannot leave residual drift behind.
+		// arithmetic cannot leave residual drift behind. Only the entries
+		// touched since the last reset can be non-zero, so the sweep is
+		// O(touched), not O(N).
 		s.inflightLoad = 0
-		for i := range s.inflightTo {
-			s.inflightTo[i] = 0
-		}
+		e.resetInflightTo()
 	} else if s.tick&0x1fff == 0 && (s.inflightLoad != 0 || s.InFlight() > 0) {
 		// Runs that never quiesce would otherwise accumulate rounding
 		// residue in the incremental aggregates forever; rebuild them
@@ -1211,15 +1306,38 @@ func (e *Engine) reduce() {
 		// the scalar and the vector together, so there is nothing to
 		// rebuild and a steady-state tick stays O(active), not O(N).
 		s.inflightLoad = 0
-		for i := range s.inflightTo {
-			s.inflightTo[i] = 0
-		}
+		e.resetInflightTo()
 		for k := range s.shards {
 			sh := &s.shards[k]
-			for i, t := range sh.task {
-				s.inflightTo[sh.to[i]] += t.Load
-				s.inflightLoad += t.Load
+			for i, h := range sh.task {
+				load := st.Load(h)
+				to := sh.to[i]
+				s.inflightTo[to] += load
+				s.inflightLoad += load
+				if s.inflightStamp[to] != s.inflightEpoch {
+					s.inflightStamp[to] = s.inflightEpoch
+					e.parts[k].inflightTouched = append(e.parts[k].inflightTouched, to)
+				}
 			}
 		}
 	}
+}
+
+// resetInflightTo zeroes every inflightTo entry touched since the previous
+// reset (each shard records its own touched nodes) and opens a new epoch.
+// Single-threaded: called only from reduce.
+func (e *Engine) resetInflightTo() {
+	s := e.state
+	for k := range e.parts {
+		p := &e.parts[k]
+		for _, v := range p.inflightTouched {
+			s.inflightTo[v] = 0
+		}
+		p.inflightTouched = p.inflightTouched[:0]
+	}
+	if s.inflightEpoch == int32(^uint32(0)>>1) { // wrap: restamp from scratch
+		clear(s.inflightStamp)
+		s.inflightEpoch = 0
+	}
+	s.inflightEpoch++
 }

@@ -279,6 +279,7 @@ func TestFlagWrittenOnDeparture(t *testing.T) {
 	})
 	e, _ := New(ringConfig(p, [][]float64{{2}, {}, {}, {}}))
 	e.Run(1)
+	st := e.State().TaskStore()
 	task := e.State().Queue(1).Tasks()[0]
 	if task.Flag != 7.5 {
 		t.Fatalf("flag = %v, want 7.5", task.Flag)
@@ -289,9 +290,10 @@ func TestFlagWrittenOnDeparture(t *testing.T) {
 	if task.Hops != 1 {
 		t.Fatalf("hops = %d", task.Hops)
 	}
-	// Next tick: policy doesn't move it again → it settles.
+	// Next tick: policy doesn't move it again → it settles. Tasks() returns
+	// value snapshots, so re-read the live state through the store.
 	e.Run(1)
-	if task.Moving {
+	if st.Moving(st.HandleOf(task.ID)) {
 		t.Fatal("unmoved inertial task must settle")
 	}
 }

@@ -17,7 +17,7 @@ const numShards = 16
 // shard, or a faulted transfer bouncing back towards its sender. Records are
 // buffered in per-shard outboxes and committed in canonical shard order.
 type transferRec struct {
-	task      *taskmodel.Task
+	task      taskmodel.Handle
 	from, to  int32
 	edge      int32
 	remaining int32
@@ -29,9 +29,11 @@ type transferRec struct {
 // towards the nodes this shard owns. The parallel arrays replace the old
 // []*Transfer pointer shells + freelist: advancement walks flat int32/bool
 // lanes instead of chasing heap pointers, and compaction is an in-place
-// two-finger sweep with no per-transfer allocation at all.
+// two-finger sweep with no per-transfer allocation at all. Since the arena
+// conversion the task lane holds store handles, so the whole shard is
+// pointer-free and invisible to the garbage collector.
 type transferShard struct {
-	task      []*taskmodel.Task
+	task      []taskmodel.Handle
 	from      []int32
 	to        []int32
 	edge      []int32
@@ -65,12 +67,8 @@ func (t *transferShard) keepAt(w, i int, rem int32) {
 	t.moving[w] = t.moving[i]
 }
 
-// truncate drops everything past the first n slots, zeroing the task lane so
-// resolved transfers do not pin delivered tasks.
+// truncate drops everything past the first n slots.
 func (t *transferShard) truncate(n int) {
-	for i := n; i < len(t.task); i++ {
-		t.task[i] = nil
-	}
 	t.task = t.task[:n]
 	t.from = t.from[:n]
 	t.to = t.to[:n]
@@ -82,9 +80,13 @@ func (t *transferShard) truncate(n int) {
 
 // movingRec pairs a task delivered with inertia with the node it landed on,
 // so the settle pass can re-activate exactly that node when the task comes
-// to rest (tasks do not record their current node).
+// to rest (the node lane is queue state, not settle state). The id rides
+// along to revalidate the handle: a task delivered and fully serviced in the
+// same tick is released in the reduce, and its slot may be recycled by next
+// tick's arrivals before the settle pass runs.
 type movingRec struct {
-	t    *taskmodel.Task
+	h    taskmodel.Handle
+	id   taskmodel.ID
 	node int32
 }
 
@@ -98,9 +100,15 @@ type shardPart struct {
 	outMask   uint32 // bit j set when out[j] is non-empty (numShards <= 32)
 	counters  Counters
 	inflightD float64
-	active    []int32           // owned nodes with surviving claims this tick
-	moving    []movingRec       // delivered with inertia this tick
-	done      []*taskmodel.Task // completed by service this tick
+	active    []int32            // owned nodes with surviving claims this tick
+	moving    []movingRec        // delivered with inertia this tick
+	done      []taskmodel.Handle // completed by service this tick
+
+	// inflightTouched lists this shard's nodes with a non-zero inflightTo
+	// entry since the last aggregate reset (deduplicated by epoch stamp).
+	// Unlike the fields above it survives across ticks: reduce drains it
+	// only when it resets the in-flight aggregates.
+	inflightTouched []int32
 
 	// dirty marks a partial some phase wrote this tick; reduce skips clean
 	// ones. Skipping is float-exact — folding an untouched partial would

@@ -28,14 +28,17 @@ func (e *Engine) maybeLeakForTest() {
 		return
 	}
 	for v := range s.queues {
-		if ts := s.queues[v].Tasks(); len(ts) > 0 {
-			s.queues[v].Remove(ts[0].ID)
-			// Keep the occupancy index and active set coherent: the leak
-			// must break load conservation and nothing else, in every
+		if hs := s.queues[v].Handles(); len(hs) > 0 {
+			h := hs[0]
+			s.queues[v].Remove(s.tasks.ID(h))
+			// Keep the occupancy index, active set and arena coherent: the
+			// leak must break load conservation and nothing else, in every
 			// engine variant alike, so the invariant under test is the one
-			// that fires (not twin divergence or a stale-plan artefact).
+			// that fires (not twin divergence, a stale-plan artefact or a
+			// store-consistency violation).
 			s.noteTaskRemoved(v)
 			e.markDirtyNeighborhood(v)
+			s.tasks.Release(h)
 			return
 		}
 	}

@@ -1,15 +1,27 @@
 // Package taskmodel implements the paper's task-side primitives (§4.2):
 //
-//   - Task: a load l_{i,k} with a mass (load quantity, "computational
-//     complexity or mnemonic size"), the potential-height flag h* that stores
-//     the remaining total energy of the moving object (§5.1), and bookkeeping
-//     for the experiments (origin, hop count, birth tick).
+//   - Store: a dense struct-of-arrays arena holding every task field
+//     (load l_{i,k}, the potential-height flag h* of §5.1, and the
+//     experiment bookkeeping) in parallel slices indexed by a stable Handle.
+//   - Task: the pointer-shaped snapshot view of one store slot, kept for
+//     examples and tests.
 //   - Graph ("T" in the paper): edge-weighted task-dependency graph; T_{i,j}
 //     is the communication weight between tasks i and j.
 //   - Resources ("R" in the paper, |L|x|V|): task-to-node resource affinity.
 //
 // The paper uses "task" and "load" interchangeably; so does this package —
 // a Task is a unit of load from the balancer's point of view.
+//
+// # Arena memory model
+//
+// All live task state lives in one Store per simulation. Creating a task
+// claims a slot (recycled from the free-list when available), and the slot's
+// Handle stays valid — all lanes addressable in O(1) — until Release. After
+// Release the handle may be reissued to a new task, so holders that can
+// outlive a task (e.g. the engine's inertia records) must revalidate with
+// the id lane before dereferencing. Handles are storage addresses only:
+// no algorithmic decision, sort order, or random draw may key on a handle
+// value — canonical orders are ascending task id, which is assignment order.
 package taskmodel
 
 import (
@@ -22,7 +34,18 @@ import (
 // ID identifies a task for the lifetime of a run.
 type ID int64
 
+// Handle is a dense index into a Store: the stable address of one task's
+// lanes from Create until Release. The zero handle is a valid slot, so
+// "no task" is NoHandle, not 0.
+type Handle int32
+
+// NoHandle is the sentinel for "no task".
+const NoHandle Handle = -1
+
 // Task is one migratable unit of load (a "particle" of the physical model).
+// Inside the engine tasks live as Store lanes; this struct is the
+// materialised snapshot form returned by the compatibility accessors
+// (Queue.Tasks, Store.TaskAt) for examples and tests.
 type Task struct {
 	ID   ID
 	Load float64 // mass m of the particle = load quantity l_{i,k}
@@ -54,7 +77,7 @@ type Task struct {
 	MovedTick int64
 }
 
-// New returns a stationary task with the given id, load and origin.
+// New returns a stationary task snapshot with the given id, load and origin.
 func New(id ID, load float64, origin int, birth int64) *Task {
 	return &Task{ID: id, Load: load, Origin: origin, Prev: -1, Birth: birth, Done: -1, MovedTick: -1}
 }
@@ -70,6 +93,180 @@ func (t *Task) String() string {
 	return fmt.Sprintf("task(%d load=%.3g node-origin=%d hops=%d flag=%.3g)", t.ID, t.Load, t.Origin, t.Hops, t.Flag)
 }
 
+// Store is the task arena: parallel lanes indexed by Handle, an id→handle
+// index, and a free-list so slots recycle without garbage. The id index is a
+// dense slice — task ids are assigned sequentially by the engine — so the
+// steady state allocates nothing: lookups, creation into recycled slots and
+// release are all O(1) over preallocated lanes.
+//
+// The node and slot lanes are queue residency state maintained by Queue:
+// node is the id of the queue the task currently sits in (-1 while in
+// flight or completed) and slot its absolute index in that queue's buffer.
+type Store struct {
+	id        []ID
+	load      []float64
+	flag      []float64
+	moving    []bool
+	origin    []int32
+	prev      []int32
+	node      []int32
+	slot      []int32
+	hops      []int32
+	birth     []int64
+	done      []int64
+	movedTick []int64
+
+	free []Handle // released slots, reused LIFO (deterministic)
+	byID []Handle // dense id→handle index; NoHandle = dead or never created
+	live int
+}
+
+// NewStore returns an empty arena.
+func NewStore() *Store { return &Store{} }
+
+// Create claims a slot for a new stationary task and returns its handle.
+// Ids must be unique among live tasks; the engine assigns them sequentially,
+// which keeps the id index dense.
+func (s *Store) Create(id ID, load float64, origin int, birth int64) Handle {
+	var h Handle
+	if n := len(s.free); n > 0 {
+		h = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.id[h] = id
+		s.load[h] = load
+		s.flag[h] = 0
+		s.moving[h] = false
+		s.origin[h] = int32(origin)
+		s.prev[h] = -1
+		s.node[h] = -1
+		s.slot[h] = -1
+		s.hops[h] = 0
+		s.birth[h] = birth
+		s.done[h] = -1
+		s.movedTick[h] = -1
+	} else {
+		h = Handle(len(s.id))
+		s.id = append(s.id, id)
+		s.load = append(s.load, load)
+		s.flag = append(s.flag, 0)
+		s.moving = append(s.moving, false)
+		s.origin = append(s.origin, int32(origin))
+		s.prev = append(s.prev, -1)
+		s.node = append(s.node, -1)
+		s.slot = append(s.slot, -1)
+		s.hops = append(s.hops, 0)
+		s.birth = append(s.birth, birth)
+		s.done = append(s.done, -1)
+		s.movedTick = append(s.movedTick, -1)
+	}
+	for int64(len(s.byID)) <= int64(id) {
+		s.byID = append(s.byID, NoHandle)
+	}
+	s.byID[id] = h
+	s.live++
+	return h
+}
+
+// Release returns the task's slot to the free-list. The handle must not be
+// dereferenced afterwards; holders that may race a release revalidate via
+// the id lane (ID returns -1 on a dead slot until the slot is reissued).
+func (s *Store) Release(h Handle) {
+	s.byID[s.id[h]] = NoHandle
+	s.id[h] = -1
+	s.free = append(s.free, h)
+	s.live--
+}
+
+// HandleOf returns the live task with the given id, or NoHandle.
+func (s *Store) HandleOf(id ID) Handle {
+	if id < 0 || int64(id) >= int64(len(s.byID)) {
+		return NoHandle
+	}
+	return s.byID[id]
+}
+
+// Alive reports whether h currently addresses a live task.
+func (s *Store) Alive(h Handle) bool {
+	return h >= 0 && int(h) < len(s.id) && s.id[h] >= 0
+}
+
+// Live returns the number of live tasks.
+func (s *Store) Live() int { return s.live }
+
+// Cap returns the number of slots ever created (live + free).
+func (s *Store) Cap() int { return len(s.id) }
+
+// IDBound returns an exclusive upper bound on ids ever issued.
+func (s *Store) IDBound() ID { return ID(len(s.byID)) }
+
+// Lane accessors. ID returns -1 for a released slot — that is the liveness
+// check the engine's inertia records rely on.
+
+// ID returns the task id in slot h (-1 when the slot is free).
+func (s *Store) ID(h Handle) ID { return s.id[h] }
+
+// Load returns the task's remaining load.
+func (s *Store) Load(h Handle) float64 { return s.load[h] }
+
+// Flag returns the potential-height flag h*.
+func (s *Store) Flag(h Handle) float64 { return s.flag[h] }
+
+// Moving reports whether the task is mid-slide.
+func (s *Store) Moving(h Handle) bool { return s.moving[h] }
+
+// Origin returns the node where the task entered the system.
+func (s *Store) Origin(h Handle) int { return int(s.origin[h]) }
+
+// Prev returns the node the task last migrated from (-1 if none).
+func (s *Store) Prev(h Handle) int { return int(s.prev[h]) }
+
+// Node returns the node whose queue the task sits in (-1 while in flight).
+func (s *Store) Node(h Handle) int { return int(s.node[h]) }
+
+// Slot returns the task's absolute index in its queue's buffer (-1 when not
+// enqueued).
+func (s *Store) Slot(h Handle) int { return int(s.slot[h]) }
+
+// Hops returns the number of link traversals so far.
+func (s *Store) Hops(h Handle) int { return int(s.hops[h]) }
+
+// Birth returns the tick at which the task entered the system.
+func (s *Store) Birth(h Handle) int64 { return s.birth[h] }
+
+// Done returns the tick the task finished service (-1 while live).
+func (s *Store) Done(h Handle) int64 { return s.done[h] }
+
+// MovedTick returns the tick the task last departed a node (-1 if never).
+func (s *Store) MovedTick(h Handle) int64 { return s.movedTick[h] }
+
+// SetLoad overwrites the task's remaining load.
+func (s *Store) SetLoad(h Handle, v float64) { s.load[h] = v }
+
+// SetFlag overwrites the potential-height flag.
+func (s *Store) SetFlag(h Handle, v float64) { s.flag[h] = v }
+
+// SetMoving sets or clears the mid-slide bit.
+func (s *Store) SetMoving(h Handle, v bool) { s.moving[h] = v }
+
+// SetPrev records the node the task last migrated from.
+func (s *Store) SetPrev(h Handle, v int) { s.prev[h] = int32(v) }
+
+// SetMovedTick stamps the tick the task departed a node.
+func (s *Store) SetMovedTick(h Handle, tick int64) { s.movedTick[h] = tick }
+
+// AddHop increments the task's hop count.
+func (s *Store) AddHop(h Handle) { s.hops[h]++ }
+
+// TaskAt materialises a snapshot of slot h. Mutating the snapshot does not
+// touch the store.
+func (s *Store) TaskAt(h Handle) Task {
+	return Task{
+		ID: s.id[h], Load: s.load[h], Flag: s.flag[h], Moving: s.moving[h],
+		Origin: int(s.origin[h]), Prev: int(s.prev[h]), Hops: int(s.hops[h]),
+		Birth: s.birth[h], Done: s.done[h], MovedTick: s.movedTick[h],
+	}
+}
+
 // Graph is the task-dependency graph T: Weight(a,b) is the communication
 // demand between tasks a and b. The zero value (or nil pointer) is an empty
 // graph, which every accessor treats as "no dependencies".
@@ -77,11 +274,14 @@ func (t *Task) String() string {
 // Internally the graph keeps two representations: a map-of-maps edit view
 // that SetDep mutates, and a flat CSR-style adjacency (sorted rows of
 // neighbour ids and weights plus per-row weight sums) that read accessors
-// use. The flat form is rebuilt lazily on the first read after a mutation;
-// reads on a clean graph touch only immutable slices, so concurrent readers
-// (the parallel planning fan-out) are safe as long as nobody mutates the
-// graph mid-tick. Summation order over a row is ascending id, which also
-// makes µs float arithmetic independent of map iteration order.
+// use. When the id universe is compact — the engine's sequential ids — the
+// row index is a dense slice rather than a map, so the µs hot path never
+// hashes. The flat form is rebuilt lazily on the first read after a
+// mutation; reads on a clean graph touch only immutable slices, so
+// concurrent readers (the parallel planning fan-out) are safe as long as
+// nobody mutates the graph mid-tick. Summation order over a row is ascending
+// id, which also makes µs float arithmetic independent of map iteration
+// order.
 type Graph struct {
 	w     map[ID]map[ID]float64
 	dirty atomic.Bool
@@ -89,6 +289,7 @@ type Graph struct {
 
 	// CSR adjacency, valid while !dirty.
 	rowOf    map[ID]int32
+	rowDense []int32 // dense id→row fast path (-1 = no row); nil when ids sparse
 	rowStart []int32
 	cols     []ID
 	wts      []float64
@@ -132,6 +333,11 @@ func (g *Graph) SetDep(a, b ID, weight float64) {
 	g.dirty.Store(true)
 }
 
+// denseSlack bounds how much larger than the row count the dense id→row
+// index may be: engine ids are sequential, so the index stays near-full;
+// a pathological sparse id universe falls back to the map.
+const denseSlack = 1024
+
 // ensure rebuilds the flat adjacency if mutations are pending.
 func (g *Graph) ensure() {
 	if !g.dirty.Load() {
@@ -154,8 +360,18 @@ func (g *Graph) ensure() {
 	g.cols = make([]ID, 0, total)
 	g.wts = make([]float64, 0, total)
 	g.rowSum = make([]float64, len(ids))
+	g.rowDense = nil
+	if n := len(ids); n > 0 && ids[0] >= 0 && int64(ids[n-1]) <= int64(4*n+denseSlack) {
+		g.rowDense = make([]int32, ids[n-1]+1)
+		for i := range g.rowDense {
+			g.rowDense[i] = -1
+		}
+	}
 	for r, a := range ids {
 		g.rowOf[a] = int32(r)
+		if g.rowDense != nil {
+			g.rowDense[a] = int32(r)
+		}
 		row := g.w[a]
 		start := len(g.cols)
 		for b := range row {
@@ -176,10 +392,23 @@ func (g *Graph) ensure() {
 	g.dirty.Store(false)
 }
 
+// rowIndex resolves task a to its CSR row, preferring the dense index.
+func (g *Graph) rowIndex(a ID) (int32, bool) {
+	if g.rowDense != nil {
+		if a < 0 || int64(a) >= int64(len(g.rowDense)) {
+			return 0, false
+		}
+		r := g.rowDense[a]
+		return r, r >= 0
+	}
+	r, ok := g.rowOf[a]
+	return r, ok
+}
+
 // row returns the CSR row of a as parallel id/weight slices (nil when a has
 // no dependencies).
 func (g *Graph) row(a ID) ([]ID, []float64) {
-	r, ok := g.rowOf[a]
+	r, ok := g.rowIndex(a)
 	if !ok {
 		return nil, nil
 	}
@@ -221,34 +450,44 @@ func (g *Graph) TotalWeight(a ID) float64 {
 		return 0
 	}
 	g.ensure()
-	r, ok := g.rowOf[a]
+	r, ok := g.rowIndex(a)
 	if !ok {
 		return 0
 	}
 	return g.rowSum[r]
 }
 
-// WeightToSet returns the summed dependency weight from a to tasks in the
-// set. Used for µs: the pull a node exerts on a task through co-located
-// dependent tasks.
-func (g *Graph) WeightToSet(a ID, set map[ID]bool) float64 {
-	if g == nil || g.w == nil {
+// WeightToSorted returns the summed dependency weight from a to the given
+// ascending-sorted ids, by merge-walking the CSR row against the slice.
+// This is the set-valued µs read without a throwaway map: callers hand a
+// sorted id slice (both sides ascend, so the walk is linear).
+func (g *Graph) WeightToSorted(a ID, sorted []ID) float64 {
+	if g == nil || g.w == nil || len(sorted) == 0 {
 		return 0
 	}
 	g.ensure()
 	cols, wts := g.row(a)
 	s := 0.0
-	for i, b := range cols {
-		if set[b] {
+	i, j := 0, 0
+	for i < len(cols) && j < len(sorted) {
+		switch {
+		case cols[i] < sorted[j]:
+			i++
+		case cols[i] > sorted[j]:
+			j++
+		default:
 			s += wts[i]
+			i++
+			j++
 		}
 	}
 	return s
 }
 
 // WeightToQueue returns the summed dependency weight from a to tasks
-// resident in q — WeightToSet with the queue's O(1) membership index instead
-// of a caller-built map. This is the µs hot path.
+// resident in q — the set-valued read with the queue's O(1) dense membership
+// index (two array loads per dependency, no hashing). This is the µs hot
+// path.
 func (g *Graph) WeightToQueue(a ID, q *Queue) float64 {
 	if g == nil || g.w == nil || q == nil || q.Len() == 0 {
 		return 0
@@ -276,15 +515,28 @@ func (g *Graph) NumDeps() int {
 // Resources is the R matrix of §4.2: Affinity(task, node) expresses how much
 // the task depends on resources present at the node. The zero value is an
 // empty matrix.
+//
+// Like Graph, Resources keeps the map-of-maps edit view for mutation and a
+// lazily rebuilt CSR (sorted node/weight rows, dense id→row index when ids
+// are compact) for the read path, so the per-candidate Affinity lookups of
+// the planning fan-out never hash.
 type Resources struct {
-	aff map[ID]map[int]float64
+	aff   map[ID]map[int]float64
+	dirty atomic.Bool
+	mu    sync.Mutex // serialises rebuilds
+
+	rowOf    map[ID]int32
+	rowDense []int32
+	rowStart []int32
+	nodes    []int32
+	wts      []float64
 }
 
 // NewResources returns an empty resource-affinity matrix.
 func NewResources() *Resources { return &Resources{aff: make(map[ID]map[int]float64)} }
 
 // SetAffinity records the resource affinity of task t to node v; weight 0
-// removes the entry.
+// removes the entry. Not safe for use concurrently with readers.
 func (r *Resources) SetAffinity(t ID, v int, weight float64) {
 	if r == nil {
 		return
@@ -299,14 +551,63 @@ func (r *Resources) SetAffinity(t ID, v int, weight float64) {
 				delete(r.aff, t)
 			}
 		}
+	} else {
+		m := r.aff[t]
+		if m == nil {
+			m = make(map[int]float64)
+			r.aff[t] = m
+		}
+		m[v] = weight
+	}
+	r.dirty.Store(true)
+}
+
+// ensure rebuilds the flat affinity rows if mutations are pending.
+func (r *Resources) ensure() {
+	if !r.dirty.Load() {
 		return
 	}
-	m := r.aff[t]
-	if m == nil {
-		m = make(map[int]float64)
-		r.aff[t] = m
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.dirty.Load() {
+		return
 	}
-	m[v] = weight
+	ids := make([]ID, 0, len(r.aff))
+	total := 0
+	for t, m := range r.aff {
+		ids = append(ids, t)
+		total += len(m)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r.rowOf = make(map[ID]int32, len(ids))
+	r.rowStart = make([]int32, len(ids)+1)
+	r.nodes = make([]int32, 0, total)
+	r.wts = make([]float64, 0, total)
+	r.rowDense = nil
+	if n := len(ids); n > 0 && ids[0] >= 0 && int64(ids[n-1]) <= int64(4*n+denseSlack) {
+		r.rowDense = make([]int32, ids[n-1]+1)
+		for i := range r.rowDense {
+			r.rowDense[i] = -1
+		}
+	}
+	for rr, t := range ids {
+		r.rowOf[t] = int32(rr)
+		if r.rowDense != nil {
+			r.rowDense[t] = int32(rr)
+		}
+		row := r.aff[t]
+		start := len(r.nodes)
+		for v := range row {
+			r.nodes = append(r.nodes, int32(v))
+		}
+		seg := r.nodes[start:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		for _, v := range seg {
+			r.wts = append(r.wts, row[int(v)])
+		}
+		r.rowStart[rr+1] = int32(len(r.nodes))
+	}
+	r.dirty.Store(false)
 }
 
 // Affinity returns the resource affinity of task t to node v (0 when absent).
@@ -314,53 +615,87 @@ func (r *Resources) Affinity(t ID, v int) float64 {
 	if r == nil || r.aff == nil {
 		return 0
 	}
-	return r.aff[t][v]
+	r.ensure()
+	var row int32
+	if r.rowDense != nil {
+		if t < 0 || int64(t) >= int64(len(r.rowDense)) {
+			return 0
+		}
+		row = r.rowDense[t]
+		if row < 0 {
+			return 0
+		}
+	} else {
+		var ok bool
+		row, ok = r.rowOf[t]
+		if !ok {
+			return 0
+		}
+	}
+	lo, hi := int(r.rowStart[row]), int(r.rowStart[row+1])
+	nodes := r.nodes[lo:hi]
+	i := sort.Search(len(nodes), func(k int) bool { return nodes[k] >= int32(v) })
+	if i < len(nodes) && nodes[i] == int32(v) {
+		return r.wts[lo+i]
+	}
+	return 0
 }
 
 // Queue is the multiset of tasks resident on one node, with the cached total
-// load h(v) = Σ l_{v,k} of §4.2 and an id→slot index so membership tests and
-// removals need no scan. The zero value is an empty queue.
+// load h(v) = Σ l_{v,k} of §4.2. Membership and removal are O(1) through the
+// store's dense id→handle index and per-task node/slot lanes — no map.
+// A queue must be bound to a store (and a node id unique within that store)
+// with Init before use; the engine initialises one queue per node.
 //
-// Layout: resident tasks live in buf[head:] in insertion order. Service
+// Layout: resident handles live in buf[head:] in insertion order. Service
 // consumption pops from the front by advancing head (no shifting); the
-// vacated prefix is compacted away once it dominates the buffer. slot maps
-// each resident id to its absolute index in buf.
+// vacated prefix is compacted away once it dominates the buffer.
 type Queue struct {
-	buf   []*Task
+	st    *Store
+	node  int32
+	buf   []Handle
 	head  int
 	total float64
-	slot  map[ID]int
 }
 
-// Add inserts a task.
-func (q *Queue) Add(t *Task) {
-	q.buf = append(q.buf, t)
-	q.total += t.Load
-	if q.slot == nil {
-		q.slot = make(map[ID]int)
-	}
-	q.slot[t.ID] = len(q.buf) - 1
+// Init binds the queue to its store and node id. Must be called before any
+// other method, and at most once.
+func (q *Queue) Init(st *Store, node int) {
+	q.st = st
+	q.node = int32(node)
 }
 
-// Remove deletes the task with the given id and returns it, or nil when
-// absent. Order of remaining tasks is preserved: the index locates the slot
-// directly and only the tail after it shifts.
-func (q *Queue) Remove(id ID) *Task {
-	i, ok := q.slot[id]
-	if !ok {
-		return nil
+// Store returns the arena this queue is bound to.
+func (q *Queue) Store() *Store { return q.st }
+
+// Add inserts a task by handle, claiming its node/slot lanes.
+func (q *Queue) Add(h Handle) {
+	q.buf = append(q.buf, h)
+	q.total += q.st.load[h]
+	q.st.node[h] = q.node
+	q.st.slot[h] = int32(len(q.buf) - 1)
+}
+
+// Remove deletes the task with the given id and returns its handle, or
+// NoHandle when not resident here. Order of remaining tasks is preserved:
+// the slot lane locates the entry directly and only the tail after it
+// shifts.
+func (q *Queue) Remove(id ID) Handle {
+	h := q.st.HandleOf(id)
+	if h < 0 || q.st.node[h] != q.node {
+		return NoHandle
 	}
-	t := q.buf[i]
+	i := int(q.st.slot[h])
 	copy(q.buf[i:], q.buf[i+1:])
-	q.buf[len(q.buf)-1] = nil
 	q.buf = q.buf[:len(q.buf)-1]
 	for j := i; j < len(q.buf); j++ {
-		q.slot[q.buf[j].ID] = j
+		q.st.slot[q.buf[j]] = int32(j)
 	}
-	delete(q.slot, id)
-	q.total -= t.Load
+	q.st.node[h] = -1
+	q.st.slot[h] = -1
+	q.total -= q.st.load[h]
 	q.clampDrift()
-	return t
+	return h
 }
 
 // clampDrift zeroes sub-nanoscale negative totals left by repeated float
@@ -372,10 +707,11 @@ func (q *Queue) clampDrift() {
 	}
 }
 
-// Has reports whether the task with the given id is resident (O(1)).
+// Has reports whether the task with the given id is resident (O(1): the
+// store's dense id index plus the node lane).
 func (q *Queue) Has(id ID) bool {
-	_, ok := q.slot[id]
-	return ok
+	h := q.st.HandleOf(id)
+	return h >= 0 && q.st.node[h] == q.node
 }
 
 // Len returns the number of resident tasks.
@@ -386,9 +722,22 @@ func (q *Queue) Len() int { return len(q.buf) - q.head }
 // mutating operations instead.
 func (q *Queue) Total() float64 { return q.total }
 
-// Tasks returns the resident tasks in insertion order. The slice is shared;
-// callers must not modify it.
-func (q *Queue) Tasks() []*Task { return q.buf[q.head:] }
+// Handles returns the resident task handles in insertion order. The slice is
+// shared; callers must not modify it.
+func (q *Queue) Handles() []Handle { return q.buf[q.head:] }
+
+// Tasks materialises snapshots of the resident tasks in insertion order —
+// the pointer-shaped compatibility view for examples and tests. Allocates;
+// hot paths use Handles and the store lanes.
+func (q *Queue) Tasks() []*Task {
+	hs := q.Handles()
+	out := make([]*Task, len(hs))
+	for i, h := range hs {
+		t := q.st.TaskAt(h)
+		out[i] = &t
+	}
+	return out
+}
 
 // compact drops the consumed prefix so buf does not grow without bound.
 func (q *Queue) compact() {
@@ -396,21 +745,18 @@ func (q *Queue) compact() {
 		return
 	}
 	n := copy(q.buf, q.buf[q.head:])
-	for i := n; i < len(q.buf); i++ {
-		q.buf[i] = nil
-	}
 	q.buf = q.buf[:n]
 	for j := 0; j < n; j++ {
-		q.slot[q.buf[j].ID] = j
+		q.st.slot[q.buf[j]] = int32(j)
 	}
 	q.head = 0
 }
 
-// ByLoadDesc returns resident tasks sorted by descending load (stable on id
-// for determinism). The paper moves the "choicest" object first; experiments
-// and the PPLB core use largest-first order.
+// ByLoadDesc returns resident task snapshots sorted by descending load
+// (stable on id for determinism). The paper moves the "choicest" object
+// first; experiments and tests use largest-first order.
 func (q *Queue) ByLoadDesc() []*Task {
-	out := append([]*Task(nil), q.Tasks()...)
+	out := q.Tasks()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Load != out[j].Load {
 			return out[i].Load > out[j].Load
@@ -422,32 +768,36 @@ func (q *Queue) ByLoadDesc() []*Task {
 
 // ConsumeService removes up to amount of load from the queue front (FIFO),
 // completing tasks whose load is fully consumed, and returns the completed
-// tasks and the load actually consumed. Partial consumption reduces a task's
-// remaining load in place. This models node service capacity in the
+// tasks' handles and the load actually consumed. Partial consumption reduces
+// a task's remaining load in place. This models node service capacity in the
 // non-quiescent experiments.
-func (q *Queue) ConsumeService(amount float64, now int64) ([]*Task, float64) {
+func (q *Queue) ConsumeService(amount float64, now int64) ([]Handle, float64) {
 	return q.ConsumeServiceInto(amount, now, nil)
 }
 
-// ConsumeServiceInto is ConsumeService appending completed tasks to done
+// ConsumeServiceInto is ConsumeService appending completed handles to done
 // (which may be nil or a reused batch buffer) instead of allocating a fresh
 // slice — the batch form the engine's sharded service phase uses to stay
 // allocation-free while draining a whole shard of queues into one buffer.
-func (q *Queue) ConsumeServiceInto(amount float64, now int64, done []*Task) ([]*Task, float64) {
+// Completed tasks leave the queue (node/slot lanes cleared) but stay alive
+// in the store until the caller releases them.
+func (q *Queue) ConsumeServiceInto(amount float64, now int64, done []Handle) ([]Handle, float64) {
+	st := q.st
 	consumed := 0.0
 	for amount > 0 && q.head < len(q.buf) {
-		t := q.buf[q.head]
-		if t.Load <= amount {
-			amount -= t.Load
-			consumed += t.Load
-			q.total -= t.Load
-			t.Done = now
-			done = append(done, t)
-			q.buf[q.head] = nil
+		h := q.buf[q.head]
+		load := st.load[h]
+		if load <= amount {
+			amount -= load
+			consumed += load
+			q.total -= load
+			st.done[h] = now
+			st.node[h] = -1
+			st.slot[h] = -1
+			done = append(done, h)
 			q.head++
-			delete(q.slot, t.ID)
 		} else {
-			t.Load -= amount
+			st.load[h] = load - amount
 			q.total -= amount
 			consumed += amount
 			amount = 0
@@ -461,4 +811,46 @@ func (q *Queue) ConsumeServiceInto(amount float64, now int64, done []*Task) ([]*
 		q.compact()
 	}
 	return done, consumed
+}
+
+// CheckConsistency brute-force audits the queue against the store: every
+// resident handle alive, the id→handle index round-tripping, the node and
+// slot lanes agreeing with the buffer position, loads positive, and the
+// cached total matching a fresh scan. Harness/test use (O(n) per queue).
+func (q *Queue) CheckConsistency() error {
+	if q.st == nil {
+		if len(q.buf) != 0 {
+			return fmt.Errorf("unbound queue holds %d handles", len(q.buf))
+		}
+		return nil
+	}
+	st := q.st
+	sum := 0.0
+	for i := q.head; i < len(q.buf); i++ {
+		h := q.buf[i]
+		if h < 0 || int(h) >= len(st.id) {
+			return fmt.Errorf("slot %d: handle %d out of range", i, h)
+		}
+		id := st.id[h]
+		if id < 0 {
+			return fmt.Errorf("slot %d: handle %d is dead", i, h)
+		}
+		if got := st.HandleOf(id); got != h {
+			return fmt.Errorf("task %d: id index maps to handle %d, resident handle is %d", id, got, h)
+		}
+		if st.node[h] != q.node {
+			return fmt.Errorf("task %d: node lane %d, resident at %d", id, st.node[h], q.node)
+		}
+		if st.slot[h] != int32(i) {
+			return fmt.Errorf("task %d: slot lane %d, buffer position %d", id, st.slot[h], i)
+		}
+		if !(st.load[h] > 0) {
+			return fmt.Errorf("task %d: load %g", id, st.load[h])
+		}
+		sum += st.load[h]
+	}
+	if d := sum - q.total; d > 1e-6+1e-9*sum || d < -(1e-6+1e-9*sum) {
+		return fmt.Errorf("cached total %g but scan %g", q.total, sum)
+	}
+	return nil
 }

@@ -77,11 +77,17 @@ func TestGraphTotalAndSetWeight(t *testing.T) {
 	if g.TotalWeight(1) != 5 {
 		t.Fatalf("TotalWeight = %v", g.TotalWeight(1))
 	}
-	if w := g.WeightToSet(1, map[ID]bool{2: true}); w != 2 {
-		t.Fatalf("WeightToSet = %v", w)
+	if w := g.WeightToSorted(1, []ID{2}); w != 2 {
+		t.Fatalf("WeightToSorted = %v", w)
 	}
-	if w := g.WeightToSet(1, map[ID]bool{2: true, 3: true}); w != 5 {
-		t.Fatalf("WeightToSet = %v", w)
+	if w := g.WeightToSorted(1, []ID{2, 3}); w != 5 {
+		t.Fatalf("WeightToSorted = %v", w)
+	}
+	if w := g.WeightToSorted(1, nil); w != 0 {
+		t.Fatalf("WeightToSorted(nil) = %v", w)
+	}
+	if w := (*Graph)(nil).WeightToSorted(1, []ID{2}); w != 0 {
+		t.Fatalf("nil graph WeightToSorted = %v", w)
 	}
 }
 
@@ -124,12 +130,25 @@ func TestResources(t *testing.T) {
 	nilr.SetAffinity(1, 1, 1) // must not panic
 }
 
+// newTestQueue binds a fresh queue to a fresh store (node 0).
+func newTestQueue() (*Store, *Queue) {
+	st := NewStore()
+	q := &Queue{}
+	q.Init(st, 0)
+	return st, q
+}
+
+// addTask creates a task in st and enqueues it.
+func addTask(st *Store, q *Queue, id ID, load float64) Handle {
+	h := st.Create(id, load, 0, 0)
+	q.Add(h)
+	return h
+}
+
 func TestQueueAddRemove(t *testing.T) {
-	var q Queue
-	a := New(1, 2, 0, 0)
-	b := New(2, 3, 0, 0)
-	q.Add(a)
-	q.Add(b)
+	st, q := newTestQueue()
+	a := addTask(st, q, 1, 2)
+	addTask(st, q, 2, 3)
 	if q.Len() != 2 || q.Total() != 5 {
 		t.Fatalf("Len/Total = %d/%v", q.Len(), q.Total())
 	}
@@ -138,22 +157,60 @@ func TestQueueAddRemove(t *testing.T) {
 	}
 	got := q.Remove(1)
 	if got != a {
-		t.Fatal("Remove returned wrong task")
+		t.Fatal("Remove returned wrong handle")
 	}
 	if q.Len() != 1 || q.Total() != 3 || q.Has(1) {
 		t.Fatal("Remove did not update state")
 	}
-	if q.Remove(42) != nil {
-		t.Fatal("Remove of absent id must return nil")
+	if q.Remove(42) != NoHandle {
+		t.Fatal("Remove of absent id must return NoHandle")
+	}
+	if err := q.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRecycle(t *testing.T) {
+	st := NewStore()
+	a := st.Create(0, 1, 3, 5)
+	b := st.Create(1, 2, 0, 0)
+	if st.Live() != 2 || st.Cap() != 2 {
+		t.Fatalf("Live/Cap = %d/%d", st.Live(), st.Cap())
+	}
+	if st.HandleOf(0) != a || st.HandleOf(1) != b || st.HandleOf(7) != NoHandle {
+		t.Fatal("HandleOf wrong")
+	}
+	if st.Origin(a) != 3 || st.Birth(a) != 5 || st.Prev(a) != -1 || st.Done(a) != -1 {
+		t.Fatalf("lane defaults wrong: %+v", st.TaskAt(a))
+	}
+	st.Release(a)
+	if st.Alive(a) || st.ID(a) != -1 || st.HandleOf(0) != NoHandle || st.Live() != 1 {
+		t.Fatal("Release must kill the slot and the id index entry")
+	}
+	// The freed slot is recycled (LIFO) with fully reset lanes.
+	st.SetMovedTick(b, 9) // unrelated slot untouched by recycling
+	c := st.Create(2, 4, 1, 8)
+	if c != a {
+		t.Fatalf("recycled handle = %d, want %d", c, a)
+	}
+	if st.ID(c) != 2 || st.Load(c) != 4 || st.Origin(c) != 1 || st.Birth(c) != 8 ||
+		st.Moving(c) || st.Hops(c) != 0 || st.Prev(c) != -1 || st.MovedTick(c) != -1 {
+		t.Fatalf("recycled slot not reset: %+v", st.TaskAt(c))
+	}
+	if st.MovedTick(b) != 9 {
+		t.Fatal("recycling clobbered another slot")
+	}
+	if st.Cap() != 2 || st.Live() != 2 {
+		t.Fatalf("Cap/Live after recycle = %d/%d", st.Cap(), st.Live())
 	}
 }
 
 func TestQueueByLoadDesc(t *testing.T) {
-	var q Queue
-	q.Add(New(1, 1, 0, 0))
-	q.Add(New(2, 5, 0, 0))
-	q.Add(New(3, 5, 0, 0))
-	q.Add(New(4, 2, 0, 0))
+	st, q := newTestQueue()
+	addTask(st, q, 1, 1)
+	addTask(st, q, 2, 5)
+	addTask(st, q, 3, 5)
+	addTask(st, q, 4, 2)
 	out := q.ByLoadDesc()
 	if out[0].ID != 2 || out[1].ID != 3 || out[2].ID != 4 || out[3].ID != 1 {
 		t.Fatalf("ByLoadDesc order wrong: %v %v %v %v", out[0].ID, out[1].ID, out[2].ID, out[3].ID)
@@ -165,17 +222,17 @@ func TestQueueByLoadDesc(t *testing.T) {
 }
 
 func TestQueueConsumeService(t *testing.T) {
-	var q Queue
-	q.Add(New(1, 2, 0, 0))
-	q.Add(New(2, 3, 0, 0))
+	st, q := newTestQueue()
+	addTask(st, q, 1, 2)
+	addTask(st, q, 2, 3)
 	done, consumed := q.ConsumeService(4, 10)
 	if consumed != 4 {
 		t.Fatalf("consumed = %v", consumed)
 	}
-	if len(done) != 1 || done[0].ID != 1 {
+	if len(done) != 1 || st.ID(done[0]) != 1 {
 		t.Fatalf("done = %v", done)
 	}
-	if done[0].Done != 10 {
+	if st.Done(done[0]) != 10 {
 		t.Fatal("completed task must record Done tick")
 	}
 	if q.Len() != 1 || math.Abs(q.Total()-1) > 1e-12 {
@@ -188,8 +245,8 @@ func TestQueueConsumeService(t *testing.T) {
 }
 
 func TestQueueConsumeMoreThanAvailable(t *testing.T) {
-	var q Queue
-	q.Add(New(1, 2, 0, 0))
+	st, q := newTestQueue()
+	addTask(st, q, 1, 2)
 	done, consumed := q.ConsumeService(10, 0)
 	if consumed != 2 || len(done) != 1 || q.Len() != 0 || q.Total() != 0 {
 		t.Fatal("consuming more than available must drain exactly the queue")
@@ -201,20 +258,23 @@ func TestQueueConsumeMoreThanAvailable(t *testing.T) {
 func TestQueueTotalInvariantQuick(t *testing.T) {
 	r := rng.New(2024)
 	f := func(ops []uint8) bool {
-		var q Queue
+		st, q := newTestQueue()
 		nextID := ID(1)
 		for _, op := range ops {
 			switch op % 3 {
 			case 0:
-				q.Add(New(nextID, float64(op%7)+0.5, 0, 0))
+				addTask(st, q, nextID, float64(op%7)+0.5)
 				nextID++
 			case 1:
 				if q.Len() > 0 {
 					victim := q.Tasks()[r.Intn(q.Len())].ID
-					q.Remove(victim)
+					st.Release(q.Remove(victim))
 				}
 			case 2:
-				q.ConsumeService(float64(op%5), 0)
+				done, _ := q.ConsumeService(float64(op%5), 0)
+				for _, h := range done {
+					st.Release(h)
+				}
 			}
 			want := 0.0
 			for _, task := range q.Tasks() {
@@ -226,6 +286,12 @@ func TestQueueTotalInvariantQuick(t *testing.T) {
 			if q.Len() != len(q.Tasks()) {
 				return false
 			}
+			if err := q.CheckConsistency(); err != nil {
+				return false
+			}
+			if q.Len() != st.Live() {
+				return false
+			}
 		}
 		return true
 	}
@@ -235,34 +301,35 @@ func TestQueueTotalInvariantQuick(t *testing.T) {
 }
 
 func BenchmarkQueueAddRemove(b *testing.B) {
-	var q Queue
+	st, q := newTestQueue()
 	for i := 0; i < b.N; i++ {
-		q.Add(New(ID(i), 1, 0, 0))
+		addTask(st, q, ID(i), 1)
 		if q.Len() > 64 {
-			q.Remove(q.Tasks()[0].ID)
+			h := q.Handles()[0]
+			st.Release(q.Remove(st.ID(h)))
 		}
 	}
 }
 
-func TestWeightToQueueMatchesWeightToSet(t *testing.T) {
+func TestWeightToQueueMatchesWeightToSorted(t *testing.T) {
 	g := NewGraph()
 	g.SetDep(1, 2, 2)
 	g.SetDep(1, 3, 3)
 	g.SetDep(1, 4, 5)
 	g.SetDep(2, 3, 7)
-	var q Queue
-	q.Add(New(2, 1, 0, 0))
-	q.Add(New(4, 1, 0, 0))
-	set := map[ID]bool{2: true, 4: true}
+	st, q := newTestQueue()
+	addTask(st, q, 2, 1)
+	addTask(st, q, 4, 1)
+	sorted := []ID{2, 4}
 	for _, id := range []ID{1, 2, 3, 99} {
-		if got, want := g.WeightToQueue(id, &q), g.WeightToSet(id, set); got != want {
-			t.Fatalf("task %d: WeightToQueue=%v WeightToSet=%v", id, got, want)
+		if got, want := g.WeightToQueue(id, q), g.WeightToSorted(id, sorted); got != want {
+			t.Fatalf("task %d: WeightToQueue=%v WeightToSorted=%v", id, got, want)
 		}
 	}
 	if got := g.WeightToQueue(1, nil); got != 0 {
 		t.Fatalf("nil queue: got %v", got)
 	}
-	if got := (*Graph)(nil).WeightToQueue(1, &q); got != 0 {
+	if got := (*Graph)(nil).WeightToQueue(1, q); got != 0 {
 		t.Fatalf("nil graph: got %v", got)
 	}
 }
@@ -290,24 +357,27 @@ func TestGraphLazyRebuildAfterMutation(t *testing.T) {
 // Interleaved Add/Remove/ConsumeService must preserve FIFO order and keep the
 // id index, total and Len consistent — this exercises the head-offset layout.
 func TestQueueInterleavedOps(t *testing.T) {
-	var q Queue
+	st, q := newTestQueue()
 	for i := 0; i < 40; i++ {
-		q.Add(New(ID(i), 1, 0, 0))
+		addTask(st, q, ID(i), 1)
 	}
 	// Consume a long prefix one task at a time to advance head far enough to
 	// trigger compaction.
 	for i := 0; i < 25; i++ {
 		done, consumed := q.ConsumeService(1, 0)
-		if len(done) != 1 || done[0].ID != ID(i) || consumed != 1 {
+		if len(done) != 1 || st.ID(done[0]) != ID(i) || consumed != 1 {
 			t.Fatalf("consume %d: done=%v consumed=%v", i, done, consumed)
 		}
+		st.Release(done[0])
 	}
 	if q.Len() != 15 {
 		t.Fatalf("Len = %d, want 15", q.Len())
 	}
 	// Remove from the middle of the surviving window.
-	if got := q.Remove(30); got == nil || got.ID != 30 {
+	if got := q.Remove(30); got < 0 || st.ID(got) != 30 {
 		t.Fatalf("Remove(30) = %v", got)
+	} else {
+		st.Release(got)
 	}
 	if q.Has(30) {
 		t.Fatal("removed id still reported resident")
@@ -326,15 +396,21 @@ func TestQueueInterleavedOps(t *testing.T) {
 			t.Fatalf("Has(%d) = false for resident task", id)
 		}
 	}
-	// Remove/re-add every task: the index must stay consistent throughout.
+	if err := q.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove/re-add every task: the index must stay consistent throughout,
+	// and released slots recycle through the free-list.
 	for _, id := range want {
-		if got := q.Remove(id); got == nil || got.ID != id {
+		got := q.Remove(id)
+		if got < 0 || st.ID(got) != id {
 			t.Fatalf("Remove(%d) = %v", id, got)
 		}
 		if q.Has(id) {
 			t.Fatalf("Has(%d) = true after removal", id)
 		}
-		q.Add(New(id, 1, 0, 0))
+		st.Release(got)
+		addTask(st, q, id, 1)
 		if !q.Has(id) {
 			t.Fatalf("Has(%d) = false after re-add", id)
 		}
@@ -345,26 +421,33 @@ func TestQueueInterleavedOps(t *testing.T) {
 	if q.Len() != len(want) {
 		t.Fatalf("Len = %d, want %d", q.Len(), len(want))
 	}
+	if err := q.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Live() != len(want) {
+		t.Fatalf("Live = %d, want %d", st.Live(), len(want))
+	}
 }
 
 // ConsumeServiceInto is the batch form of ConsumeService: it must append
 // completions to the caller's reused buffer (no allocation once warm) and
 // agree with the allocating form exactly.
 func TestQueueConsumeServiceInto(t *testing.T) {
-	var q Queue
+	st, q := newTestQueue()
 	for i := 0; i < 4; i++ {
-		q.Add(New(ID(i), 1, 0, 0))
+		addTask(st, q, ID(i), 1)
 	}
-	buf := make([]*Task, 0, 8)
-	buf = append(buf, New(ID(100), 1, 0, 0)) // pre-existing entries survive
+	marker := st.Create(100, 1, 0, 0) // never enqueued
+	buf := make([]Handle, 0, 8)
+	buf = append(buf, marker) // pre-existing entries survive
 	done, consumed := q.ConsumeServiceInto(2.5, 9, buf)
 	if consumed != 2.5 {
 		t.Fatalf("consumed = %v, want 2.5", consumed)
 	}
-	if len(done) != 3 || done[0].ID != 100 || done[1].ID != 0 || done[2].ID != 1 {
-		t.Fatalf("done = %v, want [100 0 1] appended in FIFO order", done)
+	if len(done) != 3 || st.ID(done[0]) != 100 || st.ID(done[1]) != 0 || st.ID(done[2]) != 1 {
+		t.Fatalf("done = %v, want ids [100 0 1] appended in FIFO order", done)
 	}
-	if done[1].Done != 9 || done[2].Done != 9 {
+	if st.Done(done[1]) != 9 || st.Done(done[2]) != 9 {
 		t.Fatal("completed tasks must be stamped with the service tick")
 	}
 	if q.Len() != 2 || q.Total() != 1.5 {
