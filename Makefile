@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test vet fmt-check check bench bench-json profile \
-	experiments harness-smoke harness-smoke-race fuzz soak clean
+	experiments harness-smoke harness-smoke-race snapshot-gate fuzz soak clean
 
 all: build
 
@@ -65,6 +65,14 @@ harness-smoke:
 # scenario space, not just the hand-written engine tests.
 harness-smoke-race:
 	$(GO) test -race -short -count=1 -run TestHarnessSmoke ./internal/harness -v
+
+# The snapshot/resume merge gate: a 220-scenario smoke on a seed corpus
+# disjoint from harness-smoke's, exercising the snapshot twin (mid-run
+# snapshot, byte-equal round-trip, restored engine in lockstep with the
+# primary, full-state byte comparison at every check tick) across every
+# topology family and policy. Violations shrink and replay like any other.
+snapshot-gate:
+	$(GO) test -short -count=1 -run TestSnapshotGate ./internal/harness -v
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME) ./internal/harness

@@ -160,6 +160,9 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 	if !explicit {
 		baseline = findBaseline()
 		if same, err := sameFile(baseline, path); err == nil && same {
+			// Without this notice the record silently loses its delta
+			// section and the missing comparison reads like a tooling bug.
+			fmt.Fprintf(os.Stderr, "pplb-bench: output %s is the auto-discovered baseline; recording without deltas (pass -baseline to compare against another record)\n", path)
 			baseline = ""
 		}
 	}

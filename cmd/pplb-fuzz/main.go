@@ -6,14 +6,20 @@
 //
 //	pplb-fuzz [-n 1000] [-seed 1] [-artifacts DIR] [-churn] [-q]   # soak
 //	pplb-fuzz -replay FILE                                         # reproduce a failure
+//	pplb-fuzz -replay FILE -write-checkpoint CP [-checkpoint-tick T]
+//	pplb-fuzz -replay FILE -from-checkpoint CP                     # resume mid-scenario
 //
 // A soak runs n generated scenarios (each with its Workers=1 twin
 // bit-identity check); every failure is shrunk and, with -artifacts,
 // written as a JSON replay artifact. -churn overlays the recycle-heavy
 // arrival/service regime on every scenario, hammering the arena free-list.
-// -cpuprofile/-memprofile write pprof profiles of the run. Exit status: 0
-// clean, 1 violations found (or a replay that no longer reproduces), 2
-// usage errors.
+// -write-checkpoint captures a mid-run engine snapshot of the artifact's
+// scenario (default tick: halfway to the recorded violation);
+// -from-checkpoint replays from that snapshot instead of tick 0, which the
+// engine's bit-identical resume makes equivalent for everything except the
+// full-sweep soundness twin. -cpuprofile/-memprofile write pprof profiles
+// of the run. Exit status: 0 clean, 1 violations found (or a replay that no
+// longer reproduces), 2 usage errors.
 package main
 
 import (
@@ -39,6 +45,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "base seed the scenario seeds are split from")
 	artifacts := fs.String("artifacts", "", "directory for shrunk replay artifacts of failures")
 	replay := fs.String("replay", "", "replay this failure artifact instead of soaking")
+	fromCheckpoint := fs.String("from-checkpoint", "", "with -replay: resume the scenario from this checkpoint file instead of tick 0")
+	writeCheckpoint := fs.String("write-checkpoint", "", "with -replay: write a mid-run checkpoint of the artifact's scenario to this file")
+	checkpointTick := fs.Int("checkpoint-tick", 0, "with -write-checkpoint: tick to snapshot at (0 = halfway to the recorded violation)")
 	churn := fs.Bool("churn", false, "overlay the recycle-heavy churn regime on every scenario")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -86,20 +95,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	if *replay == "" && (*fromCheckpoint != "" || *writeCheckpoint != "") {
+		fmt.Fprintf(stderr, "pplb-fuzz: -from-checkpoint and -write-checkpoint require -replay\n")
+		return 2
+	}
 	if *replay != "" {
-		return runReplay(*replay, stdout, stderr)
+		if *writeCheckpoint != "" {
+			return runWriteCheckpoint(*replay, *writeCheckpoint, *checkpointTick, stdout, stderr)
+		}
+		return runReplay(*replay, *fromCheckpoint, stdout, stderr)
 	}
 	return runSoak(*n, *seed, *artifacts, *churn, *quiet, stdout, stderr)
 }
 
-func runReplay(path string, stdout, stderr io.Writer) int {
+func runWriteCheckpoint(artifactPath, cpPath string, tick int, stdout, stderr io.Writer) int {
+	a, err := harness.LoadArtifact(artifactPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+		return 2
+	}
+	if tick <= 0 {
+		tick = int(a.Violation.Tick) / 2
+		if tick < 1 {
+			fmt.Fprintf(stderr, "pplb-fuzz: violation at tick %d leaves no room for a checkpoint; pass -checkpoint-tick\n", a.Violation.Tick)
+			return 2
+		}
+	}
+	cp, err := harness.MakeCheckpoint(a, tick)
+	if err != nil {
+		fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+		return 2
+	}
+	if err := cp.Write(cpPath); err != nil {
+		fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "checkpoint at tick %d of %s written to %s (%d snapshot bytes)\n",
+		cp.Tick, a.Spec, cpPath, len(cp.Snapshot))
+	return 0
+}
+
+func runReplay(path, fromCheckpoint string, stdout, stderr io.Writer) int {
 	a, err := harness.LoadArtifact(path)
 	if err != nil {
 		fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
 		return 2
 	}
 	fmt.Fprintf(stdout, "replaying %s\nscenario: %s\nrecorded: %s\n", path, a.Scenario, &a.Violation)
-	out, ok := harness.Replay(a)
+	var (
+		out *harness.Outcome
+		ok  bool
+	)
+	if fromCheckpoint != "" {
+		cp, err := harness.LoadCheckpoint(fromCheckpoint)
+		if err != nil {
+			fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "resuming from checkpoint at tick %d\n", cp.Tick)
+		out, ok, err = harness.ReplayFromCheckpoint(a, cp)
+		if err != nil {
+			fmt.Fprintf(stderr, "pplb-fuzz: %v\n", err)
+			return 2
+		}
+	} else {
+		out, ok = harness.Replay(a)
+	}
 	switch {
 	case ok:
 		fmt.Fprintf(stdout, "violation reproduced bit-identically\n")

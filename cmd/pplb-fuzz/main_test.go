@@ -65,3 +65,52 @@ func TestReplayRoundTrip(t *testing.T) {
 		t.Fatalf("replay did not confirm reproduction:\n%s", out.String())
 	}
 }
+
+// TestCheckpointFlow drives the checkpoint pipeline through the CLI: write a
+// mid-run checkpoint of a failing artifact's scenario, then replay from it
+// and confirm the recorded violation still reproduces bit-identically.
+func TestCheckpointFlow(t *testing.T) {
+	var spec harness.Spec
+	var v *harness.Violation
+	for seed := uint64(1); seed < 64 && v == nil; seed++ {
+		spec = harness.Spec{Seed: seed, Tweaks: harness.Tweaks{LeakEvery: 2}}
+		if out := harness.Run(spec); out.Violation != nil && out.Violation.Tick >= 2 {
+			v = out.Violation
+		}
+	}
+	if v == nil {
+		t.Fatal("no seed triggered the injected leak late enough for a checkpoint")
+	}
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "replay.json")
+	if err := harness.NewArtifact(spec, v).Write(artifact); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := filepath.Join(dir, "checkpoint.json")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", artifact, "-write-checkpoint", checkpoint}, &out, &errb); code != 0 {
+		t.Fatalf("write-checkpoint exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "checkpoint at tick") {
+		t.Fatalf("missing checkpoint confirmation:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-replay", artifact, "-from-checkpoint", checkpoint}, &out, &errb); code != 0 {
+		t.Fatalf("from-checkpoint exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "resuming from checkpoint at tick") ||
+		!strings.Contains(out.String(), "violation reproduced bit-identically") {
+		t.Fatalf("checkpoint replay did not confirm reproduction:\n%s", out.String())
+	}
+
+	// Checkpoint flags without -replay are usage errors.
+	if code := run([]string{"-from-checkpoint", checkpoint}, &out, &errb); code != 2 {
+		t.Fatalf("-from-checkpoint without -replay: exit %d, want 2", code)
+	}
+	if code := run([]string{"-write-checkpoint", checkpoint}, &out, &errb); code != 2 {
+		t.Fatalf("-write-checkpoint without -replay: exit %d, want 2", code)
+	}
+}

@@ -6,6 +6,15 @@
 //	pplb-sim -topology torus:8x8 -policy pplb -load hotspot -tasks 256 -ticks 1000
 //	pplb-sim -topology hypercube:6 -policy diffusion -load random -seed 7
 //	pplb-sim -topology mesh:8x8 -policy pplb -faults 0.2 -csv run.csv
+//	pplb-sim -topology torus:8x8 -ticks 500 -checkpoint state.snap
+//	pplb-sim -topology torus:8x8 -ticks 500 -resume state.snap   # ticks 500..1000
+//
+// -checkpoint writes the engine snapshot after the run; -resume starts from
+// a snapshot instead of the initial load (the topology, policy, seed, fault
+// and service flags must match the checkpointing run — mismatches are
+// rejected). Resume is bit-identical: checkpointing at tick K and resuming
+// for the remaining ticks lands on exactly the state of an uninterrupted
+// run.
 package main
 
 import (
@@ -144,6 +153,8 @@ func main() {
 	service := flag.Float64("service", 0, "per-node service rate (0 = quiescent)")
 	workers := flag.Int("workers", 1, "planning goroutines")
 	csvPath := flag.String("csv", "", "write per-tick series to this CSV file")
+	checkpointPath := flag.String("checkpoint", "", "write the engine snapshot to this file after the run")
+	resumePath := flag.String("resume", "", "resume from a snapshot file instead of the initial load (other flags must match the checkpointing run)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -159,12 +170,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	init, err := parseLoad(*loadFlag, g.N(), *tasks, *taskSize, *seed)
-	if err != nil {
-		fail(err)
-	}
 	opts := []pplb.Option{
-		pplb.WithInitial(init),
 		pplb.WithSeed(*seed),
 		pplb.WithWorkers(*workers),
 		pplb.WithServiceRate(*service),
@@ -172,9 +178,27 @@ func main() {
 	if *faults > 0 {
 		opts = append(opts, pplb.WithLinks(pplb.Links(g, pplb.WithUniformFault(*faults))))
 	}
-	sys, err := pplb.NewSystem(g, policy, opts...)
-	if err != nil {
-		fail(err)
+	var sys *pplb.System
+	if *resumePath != "" {
+		// The snapshot carries the full task population; -load/-tasks/-size
+		// apply only to fresh runs.
+		snap, err := os.ReadFile(*resumePath)
+		if err != nil {
+			fail(err)
+		}
+		sys, err = pplb.RestoreSystem(g, policy, snap, opts...)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		init, err := parseLoad(*loadFlag, g.N(), *tasks, *taskSize, *seed)
+		if err != nil {
+			fail(err)
+		}
+		sys, err = pplb.NewSystem(g, policy, append(opts, pplb.WithInitial(init))...)
+		if err != nil {
+			fail(err)
+		}
 	}
 	cv0 := sys.CV()
 	sys.Run(*ticks)
@@ -210,6 +234,17 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("series written to %s\n", *csvPath)
+	}
+
+	if *checkpointPath != "" {
+		snap, err := sys.Snapshot()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*checkpointPath, snap, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("checkpoint written to %s (%d bytes)\n", *checkpointPath, len(snap))
 	}
 }
 

@@ -33,8 +33,13 @@ func FuzzScenario(f *testing.F) {
 	for i := uint64(0); i < 12; i++ {
 		seed := corpus.Split(i).Uint64()
 		f.Add(seed, false)
-		if i < 4 {
-			f.Add(seed, true) // recycle-heavy churn overlay on a sample
+		if i < churnCorpusSize {
+			// Recycle-heavy churn overlay on a sample. Run snapshots the
+			// primary at the scenario midpoint, so these entries exercise
+			// snapshot/restore of an arena whose free list and id→handle
+			// index have already been through heavy recycling (see
+			// TestChurnSeedsRecycleBeforeSnapshot).
+			f.Add(seed, true)
 		}
 	}
 	for _, seed := range nearEquilibriumSeeds {
@@ -57,6 +62,39 @@ func FuzzScenario(f *testing.F) {
 		}
 		t.Fatalf("%s | original %s | shrunk %s%s", v, spec, shrunk, msg)
 	})
+}
+
+// churnCorpusSize is how many corpus seeds get the churn overlay twin entry
+// in FuzzScenario.
+const churnCorpusSize = 8
+
+// TestChurnSeedsRecycleBeforeSnapshot pins what the churn corpus entries are
+// for: by the scenario midpoint — the tick Run snapshots the primary at —
+// the arena must already have completed (and therefore released and
+// recycled) task slots, so the snapshot encoder meets a battle-scarred free
+// list and id→handle index rather than the pristine post-construction
+// arena. If a generator or engine change quiets the churn regime down, this
+// fails loudly so the corpus can be re-tuned instead of silently testing
+// the easy case.
+func TestChurnSeedsRecycleBeforeSnapshot(t *testing.T) {
+	corpus := rng.New(0xF00D)
+	for i := uint64(0); i < churnCorpusSize; i++ {
+		seed := corpus.Split(i).Uint64()
+		sc := Generate(Spec{Seed: seed, Tweaks: Tweaks{Churn: true}})
+		snapTick := sc.Ticks / 2
+		if snapTick < 1 {
+			t.Fatalf("seed %#x: scenario too short to snapshot (%d ticks)", seed, sc.Ticks)
+		}
+		eng, err := sim.New(sc.Config(1))
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		eng.Run(snapTick)
+		if c := eng.State().Counters(); c.TasksCompleted == 0 {
+			t.Errorf("seed %#x: no tasks completed in %d churn ticks — snapshot sees an unrecycled arena", seed, snapTick)
+		}
+		eng.Close()
+	}
 }
 
 // TestNearEquilibriumSeedsDrain pins what the hand-picked corpus seeds are

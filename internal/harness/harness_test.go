@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"os/exec"
@@ -65,6 +66,92 @@ func TestHarnessChurnSmoke(t *testing.T) {
 		t.Errorf("ran %d of %d scenarios", res.Ran, count)
 	}
 	t.Logf("churn soak: %d scenarios, families %v, policies %v", res.Ran, res.Families, res.Policies)
+}
+
+// TestSnapshotGate is the snapshot/resume merge gate: a 220-scenario smoke
+// on a seed base disjoint from TestHarnessSmoke's, so the snapshot twin —
+// mid-run snapshot, byte-equal round-trip, Workers=1 restored engine in
+// lockstep with the Workers=8 primary, full-state byte comparison at every
+// check tick, final-state round-trip — sees a corpus the other gates don't.
+// Any encoder omission or decoder rebuild divergence fails here as a
+// "snapshot-roundtrip" or "snapshot-resume" violation with a shrunk,
+// replayable artifact. Run via `make snapshot-gate`.
+func TestSnapshotGate(t *testing.T) {
+	const count = 220
+	res, err := Soak(SoakConfig{
+		BaseSeed:    0x5AA9,
+		Count:       count,
+		ArtifactDir: os.Getenv("PPLB_HARNESS_ARTIFACT_DIR"),
+	})
+	if err != nil {
+		t.Error(err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("scenario failed: %s", f)
+	}
+	if res.Ran != count {
+		t.Errorf("ran %d of %d scenarios", res.Ran, count)
+	}
+	t.Logf("snapshot gate: %d scenarios, families %v, policies %v", res.Ran, res.Families, res.Policies)
+}
+
+// TestCheckpointReplay proves the checkpoint path end-to-end on an injected
+// bug: a leaking spec's violation must reproduce identically when the replay
+// starts from a mid-run checkpoint instead of tick 0, the checkpoint must
+// survive a JSON round-trip, and mismatched or stale checkpoints must be
+// rejected rather than replayed misleadingly.
+func TestCheckpointReplay(t *testing.T) {
+	spec, v := findLeakingSpec(t)
+	a := NewArtifact(spec, v)
+	if v.Tick < 2 {
+		t.Skipf("violation at tick %d leaves no room for a checkpoint", v.Tick)
+	}
+	cpTick := int(v.Tick) / 2
+	if cpTick < 1 {
+		cpTick = 1
+	}
+	cp, err := MakeCheckpoint(a, cpTick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := cp.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Schema != CheckpointSchema || loaded.Spec != cp.Spec || loaded.Tick != cp.Tick ||
+		!bytes.Equal(loaded.Snapshot, cp.Snapshot) {
+		t.Fatalf("checkpoint round-trip changed: %+v vs %+v", loaded, cp)
+	}
+
+	out, ok, err := ReplayFromCheckpoint(a, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatalf("checkpoint replay passed; recorded violation: %s", v)
+	}
+	if !ok {
+		t.Fatalf("checkpoint replay diverged:\nrecorded: %s\ngot:      %s", v, out.Violation)
+	}
+
+	other := NewArtifact(Spec{Seed: spec.Seed + 1}, v)
+	if _, _, err := ReplayFromCheckpoint(other, loaded); err == nil {
+		t.Fatal("checkpoint for a different spec was accepted")
+	}
+	stale := *loaded
+	stale.Schema = "pplb-harness-checkpoint/0"
+	stalePath := filepath.Join(t.TempDir(), "stale.json")
+	if err := stale.Write(stalePath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(stalePath); err == nil {
+		t.Fatal("stale checkpoint schema was accepted")
+	}
 }
 
 // TestHarnessSoak is the nightly long soak, gated behind an env var:

@@ -5,10 +5,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"pplb/internal/sim"
 )
 
-// ArtifactSchema versions the replay-artifact JSON format.
-const ArtifactSchema = "pplb-harness-replay/1"
+// ArtifactSchema versions the replay-artifact JSON format. Version 2 marks
+// the runner that checks the snapshot/resume contract (violations
+// "snapshot-roundtrip" and "snapshot-resume" exist, and every replay runs
+// the mid-run restored twin): a v1 artifact's recorded violation was found
+// without those checks and its "reproduces bit-identically" contract does
+// not transfer, so loading one errors instead of replaying misleadingly.
+const ArtifactSchema = "pplb-harness-replay/2"
 
 // Artifact is the JSON replay record written when a scenario violates an
 // invariant: the (shrunk) spec that fails, the violation it produced, and a
@@ -64,7 +71,7 @@ func LoadArtifact(path string) (*Artifact, error) {
 		return nil, fmt.Errorf("harness: %s: %w", path, err)
 	}
 	if a.Schema != ArtifactSchema {
-		return nil, fmt.Errorf("harness: %s: schema %q, want %q", path, a.Schema, ArtifactSchema)
+		return nil, fmt.Errorf("harness: %s: schema %q, want %q (artifacts from older harness versions cannot replay under the current check suite; regenerate by re-running the failing seed)", path, a.Schema, ArtifactSchema)
 	}
 	return &a, nil
 }
@@ -76,4 +83,144 @@ func LoadArtifact(path string) (*Artifact, error) {
 func Replay(a *Artifact) (*Outcome, bool) {
 	out := Run(a.Spec)
 	return out, out.Violation != nil && *out.Violation == a.Violation
+}
+
+// CheckpointSchema versions the checkpoint JSON format.
+const CheckpointSchema = "pplb-harness-checkpoint/1"
+
+// Checkpoint is a mid-run engine snapshot of an artifact's scenario: the
+// spec it belongs to, the tick the snapshot was taken at, and the raw engine
+// snapshot bytes. It lets a long counterexample be triaged from just before
+// the violation instead of replaying the whole prefix — the engine's
+// bit-identical resume guarantee is what makes the shortcut sound.
+type Checkpoint struct {
+	Schema   string `json:"schema"`
+	Spec     Spec   `json:"spec"`
+	Tick     int    `json:"tick"`
+	Snapshot []byte `json:"snapshot"`
+}
+
+// MakeCheckpoint runs the artifact's scenario to the given tick (which must
+// leave at least one tick of run remaining) and captures the primary
+// engine's snapshot.
+func MakeCheckpoint(a *Artifact, tick int) (*Checkpoint, error) {
+	sc := Generate(a.Spec)
+	if tick < 1 || tick >= sc.Ticks {
+		return nil, fmt.Errorf("harness: checkpoint tick %d outside [1, %d)", tick, sc.Ticks)
+	}
+	if a.Spec.Tweaks.LeakEvery > 0 {
+		sim.SetConservationLeakForTest(a.Spec.Tweaks.LeakEvery)
+		defer sim.SetConservationLeakForTest(0)
+	}
+	primary, err := sim.New(sc.Config(sc.Workers))
+	if err != nil {
+		return nil, fmt.Errorf("harness: checkpoint engine: %w", err)
+	}
+	defer primary.Close()
+	primary.Run(tick)
+	snap, err := primary.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("harness: checkpoint snapshot: %w", err)
+	}
+	return &Checkpoint{Schema: CheckpointSchema, Spec: a.Spec, Tick: tick, Snapshot: snap}, nil
+}
+
+// Write stores the checkpoint as indented JSON at path (the snapshot bytes
+// are base64 inside the JSON).
+func (c *Checkpoint) Write(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", path, err)
+	}
+	if c.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("harness: %s: schema %q, want %q", path, c.Schema, CheckpointSchema)
+	}
+	if len(c.Snapshot) == 0 {
+		return nil, fmt.Errorf("harness: %s: empty snapshot", path)
+	}
+	return &c, nil
+}
+
+// ReplayFromCheckpoint reruns the artifact's scenario starting from the
+// checkpoint instead of tick 0: the primary (Workers as generated) and the
+// Workers=1 twin are both restored from the checkpoint snapshot, stepped in
+// lockstep to the scenario's end, and checked against the invariant suite,
+// twin bit-identity, snapshot-resume identity (the twin is itself a restored
+// engine) and a final round-trip. The full-sweep soundness twin cannot be
+// reconstructed from an active-set snapshot (the engine modes differ), so
+// active-set-soundness violations must be replayed from tick 0 with Replay.
+//
+// Reports whether the recorded violation reproduced exactly; divergence
+// introduced before the checkpoint tick cannot be observed here, so pick a
+// checkpoint tick well before the recorded violation.
+func ReplayFromCheckpoint(a *Artifact, cp *Checkpoint) (*Outcome, bool, error) {
+	if cp.Spec != a.Spec {
+		return nil, false, fmt.Errorf("harness: checkpoint spec %s does not match artifact spec %s", cp.Spec, a.Spec)
+	}
+	sc := Generate(a.Spec)
+	out := &Outcome{Scenario: sc}
+	if cp.Tick < 1 || cp.Tick >= sc.Ticks {
+		return nil, false, fmt.Errorf("harness: checkpoint tick %d outside [1, %d)", cp.Tick, sc.Ticks)
+	}
+	if a.Spec.Tweaks.LeakEvery > 0 {
+		sim.SetConservationLeakForTest(a.Spec.Tweaks.LeakEvery)
+		defer sim.SetConservationLeakForTest(0)
+	}
+	primary, err := sim.Restore(cp.Snapshot, sc.Config(sc.Workers))
+	if err != nil {
+		return nil, false, fmt.Errorf("harness: restoring primary: %w", err)
+	}
+	defer primary.Close()
+	twin, err := sim.Restore(cp.Snapshot, sc.Config(1))
+	if err != nil {
+		return nil, false, fmt.Errorf("harness: restoring twin: %w", err)
+	}
+	defer twin.Close()
+
+	invs := StandardInvariants()
+	for tick := cp.Tick + 1; tick <= sc.Ticks; tick++ {
+		primary.Step()
+		twin.Step()
+		if tick%sc.CheckEvery != 0 && tick != sc.Ticks {
+			continue
+		}
+		for _, inv := range invs {
+			if detail := inv.Check(primary.State()); detail != "" {
+				out.Violation = &Violation{Invariant: inv.Name(), Tick: int64(tick), Detail: detail}
+				return out, violationMatches(out, a), nil
+			}
+		}
+		if v := compareTwin(primary.State(), twin.State(), int64(tick)); v != nil {
+			out.Violation = v
+			return out, violationMatches(out, a), nil
+		}
+		if v := compareResume(primary, twin, int64(tick)); v != nil {
+			out.Violation = v
+			return out, violationMatches(out, a), nil
+		}
+		if tick == sc.Ticks {
+			if v := checkRoundTrip(sc, primary, int64(tick)); v != nil {
+				out.Violation = v
+				return out, violationMatches(out, a), nil
+			}
+		}
+	}
+	return out, false, nil
+}
+
+func violationMatches(out *Outcome, a *Artifact) bool {
+	return out.Violation != nil && *out.Violation == a.Violation
 }

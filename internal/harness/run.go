@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 
 	"pplb/internal/sim"
@@ -27,6 +28,17 @@ type Outcome struct {
 // even for scenarios whose policy forces full sweeps anyway — there it
 // degenerates to a second (cheap, still valid) identity check rather than a
 // special case in the runner.
+//
+// A fourth engine checks the snapshot/resume contract: at the scenario's
+// midpoint the primary is snapshotted, the snapshot round-trips through
+// Restore (byte-equal re-encode, "snapshot-roundtrip"), and the restored
+// engine — built with Workers=1 and a fresh policy instance, so the check
+// also enforces that resume never depends on worker count or mutable policy
+// internals — runs in lockstep with the primary for the rest of the run.
+// At every check tick the two must produce byte-identical snapshots
+// ("snapshot-resume"); the canonical encoding makes snapshot equality state
+// equality, so any hidden field the encoder misses or the decoder rebuilds
+// differently diverges here, not in production resume.
 func Run(spec Spec) *Outcome {
 	sc := Generate(spec)
 	out := &Outcome{Scenario: sc}
@@ -58,10 +70,28 @@ func Run(spec Spec) *Outcome {
 	defer sweep.Close()
 
 	invs := StandardInvariants()
+	snapTick := sc.Ticks / 2
+	var resumed *sim.Engine
+	defer func() {
+		if resumed != nil {
+			resumed.Close()
+		}
+	}()
 	for tick := 1; tick <= sc.Ticks; tick++ {
 		primary.Step()
 		twin.Step()
 		sweep.Step()
+		if resumed != nil {
+			resumed.Step()
+		}
+		if tick == snapTick && snapTick >= 1 {
+			var v *Violation
+			resumed, v = buildResumeTwin(sc, primary, int64(tick))
+			if v != nil {
+				out.Violation = v
+				return out
+			}
+		}
 		if tick%sc.CheckEvery != 0 && tick != sc.Ticks {
 			continue
 		}
@@ -79,8 +109,108 @@ func Run(spec Spec) *Outcome {
 			out.Violation = v
 			return out
 		}
+		if resumed != nil {
+			if v := compareResume(primary, resumed, int64(tick)); v != nil {
+				out.Violation = v
+				return out
+			}
+		}
+		if tick == sc.Ticks && tick != snapTick {
+			// Round-trip the final state too: the midpoint round-trip ran
+			// before the late-run regime (drained arrivals, recycled slots,
+			// quiescent in-flight aggregates) existed to encode.
+			if v := checkRoundTrip(sc, primary, int64(tick)); v != nil {
+				out.Violation = v
+				return out
+			}
+		}
 	}
 	return out
+}
+
+// buildResumeTwin snapshots the primary at tick, round-trips the snapshot
+// through Restore, and returns the restored engine for lockstep resume
+// checking. The twin is restored at Workers=1 with a fresh policy instance
+// even though the primary runs Workers=8, so every scenario also proves that
+// a snapshot taken on a parallel engine resumes identically on a sequential
+// one and that no policy smuggles mutable cross-tick state past the restore.
+func buildResumeTwin(sc *Scenario, primary *sim.Engine, tick int64) (*sim.Engine, *Violation) {
+	snap, err := primary.Snapshot()
+	if err != nil {
+		return nil, &Violation{Invariant: "snapshot-roundtrip", Tick: tick, Detail: "snapshot failed: " + err.Error()}
+	}
+	resumed, err := sim.Restore(snap, sc.Config(1))
+	if err != nil {
+		return nil, &Violation{Invariant: "snapshot-roundtrip", Tick: tick, Detail: "restore failed: " + err.Error()}
+	}
+	resnap, err := resumed.Snapshot()
+	if err == nil {
+		if d := snapshotDiff(snap, resnap); d != "" {
+			err = fmt.Errorf("re-encoded snapshot differs: %s", d)
+		}
+	}
+	if err != nil {
+		resumed.Close()
+		return nil, &Violation{Invariant: "snapshot-roundtrip", Tick: tick, Detail: err.Error()}
+	}
+	return resumed, nil
+}
+
+// checkRoundTrip verifies snapshot→restore→snapshot byte identity of the
+// primary's current state, without keeping the restored engine.
+func checkRoundTrip(sc *Scenario, primary *sim.Engine, tick int64) *Violation {
+	e, v := buildResumeTwin(sc, primary, tick)
+	if e != nil {
+		e.Close()
+	}
+	return v
+}
+
+// compareResume checks that the primary and the mid-run restored engine
+// still encode to byte-identical snapshots. Snapshot bytes are canonical, so
+// this is a full-state comparison — stronger than the counters+loads check
+// of the other twins — which is what catches state the encoder forgot:
+// a field that never round-trips shows up as a first-differing-offset here.
+func compareResume(primary, resumed *sim.Engine, tick int64) *Violation {
+	a, err := primary.Snapshot()
+	if err != nil {
+		return &Violation{Invariant: "snapshot-resume", Tick: tick, Detail: "primary snapshot failed: " + err.Error()}
+	}
+	b, err := resumed.Snapshot()
+	if err != nil {
+		return &Violation{Invariant: "snapshot-resume", Tick: tick, Detail: "resumed snapshot failed: " + err.Error()}
+	}
+	if d := snapshotDiff(a, b); d != "" {
+		return &Violation{
+			Invariant: "snapshot-resume",
+			Tick:      tick,
+			Detail:    fmt.Sprintf("resumed engine diverged from primary: %s", d),
+		}
+	}
+	return nil
+}
+
+// snapshotDiff describes the first difference between two snapshot encodings
+// ("" if byte-identical). The detail is deterministic, so a replayed
+// violation compares equal to the recorded one.
+func snapshotDiff(a, b []byte) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("lengths differ: %d vs %d bytes", len(a), len(b))
+	}
+	if i := firstDiff(a, b); i >= 0 {
+		return fmt.Sprintf("first byte difference at offset %d (%#02x vs %#02x) of %d bytes", i, a[i], b[i], len(a))
+	}
+	return ""
+}
+
+func firstDiff(a, b []byte) int {
+	if bytes.Equal(a, b) {
+		return -1
+	}
+	i := 0
+	for ; i < len(a) && a[i] == b[i]; i++ {
+	}
+	return i
 }
 
 // minShrinkTicks is the floor below which the shrinker stops halving the

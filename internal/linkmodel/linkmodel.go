@@ -262,6 +262,36 @@ func (p *Params) DeliveryFailureProb(u, v int) float64 { return p.failProb[p.edg
 // DeliveryFailureProbByEdge returns DeliveryFailureProb by canonical edge id.
 func (p *Params) DeliveryFailureProbByEdge(id int) float64 { return p.failProb[id] }
 
+// Fingerprint returns a deterministic hash of the full link configuration:
+// every per-edge bandwidth/length/fault value (in canonical edge order) plus
+// the cost scale and fault exponent. Params is immutable after New, so the
+// fingerprint identifies the configuration for the lifetime of the system;
+// the engine's snapshot header records it so a restore into an engine built
+// with different link parameters fails loudly instead of diverging silently.
+func (p *Params) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(p.bw)))
+	for i := range p.bw {
+		mix(math.Float64bits(p.bw[i]))
+		mix(math.Float64bits(p.d[i]))
+		mix(math.Float64bits(p.f[i]))
+	}
+	mix(math.Float64bits(p.costScale))
+	mix(math.Float64bits(p.cFault))
+	return h
+}
+
 // MaxCost returns the largest Cost over all edges (0 for edgeless graphs).
 // Balancers use it to normalise slopes.
 func (p *Params) MaxCost() float64 {

@@ -93,6 +93,23 @@ func (r *RNG) SplitInto(label uint64, dst *RNG) {
 	}
 }
 
+// State returns the raw 256-bit xoshiro state. Together with SetState it
+// lets the engine snapshot/restore layer serialize stream positions exactly;
+// the words are an opaque encoding, not a seed.
+func (r *RNG) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState overwrites the generator state with words previously obtained from
+// State. An all-zero state is invalid for xoshiro and is nudged the same way
+// Reseed guards against it.
+func (r *RNG) SetState(s [4]uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))

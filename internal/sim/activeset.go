@@ -143,6 +143,39 @@ func (a *activeSet) activateAll() {
 	a.pendingMask.Store(m)
 }
 
+// recomputePendingMask derives the per-shard summary mask from the pending
+// bits. Between ticks mark always sets both the bit and the shard summary and
+// nothing else clears pending, so the derived mask equals the accumulated
+// one — which is why the snapshot encodes only the bits and restore rebuilds
+// the mask. Single-threaded (restore path, between ticks).
+func (a *activeSet) recomputePendingMask() uint32 {
+	m := uint32(0)
+	for k := 0; k < numShards; k++ {
+		lo, hi := a.shardLo[k], a.shardLo[k+1]
+		if lo >= hi {
+			continue
+		}
+		for w := lo >> 6; w <= (hi-1)>>6; w++ {
+			word := a.pending[w]
+			if word == 0 {
+				continue
+			}
+			base := w << 6
+			if base < lo {
+				word &= ^uint64(0) << uint(lo-base)
+			}
+			if base+64 > hi {
+				word &= 1<<uint(hi-base) - 1
+			}
+			if word != 0 {
+				m |= 1 << uint(k)
+				break
+			}
+		}
+	}
+	return m
+}
+
 // pendingCount returns how many nodes are scheduled for the next planning
 // pass. Called between ticks, when no mutators run.
 func (a *activeSet) pendingCount() int {

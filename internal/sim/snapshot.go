@@ -1,0 +1,567 @@
+// Snapshot/restore: a versioned, deterministic binary encoding of the
+// complete engine state, and the inverse that rebuilds a running engine from
+// it. The contract is bit-identical resume: stepping a restored engine
+// produces byte-equal state and identical metrics to the uninterrupted run at
+// every subsequent tick, for any Workers count and for both the incremental
+// and the full-sweep engine.
+//
+// The encoding is canonical — a pure function of semantic state, independent
+// of execution history details that do not affect future behaviour — so equal
+// snapshots mean equal states and the byte slice doubles as a state hash
+// (the harness's snapshot twin compares snapshots directly). Three
+// canonicalizations make that true:
+//
+//   - Queue buffers serialize front-to-back with the consumed-prefix offset
+//     folded away (restore rebuilds residency with head 0). Nothing
+//     behavioural reads absolute buffer positions, only relative order.
+//   - The in-flight aggregate serializes as the ascending list of non-zero
+//     inflightTo entries; the epoch counter, stamps and per-shard touched
+//     lists are rebuilt fresh on restore. Dropping touched-but-exactly-zero
+//     entries is a no-op (zeroing +0.0 is the identity, and an exact-zero
+//     IEEE sum is always +0.0, never -0.0), and touched-list order only ever
+//     drives zeroing, so it is behaviourally irrelevant.
+//   - The active set serializes only the pending bits; the per-shard summary
+//     mask is derived on restore (between ticks the two are redundant).
+//
+// Everything else is exact: the arena's slot lanes and free-list order (the
+// free-list determines every future handle assignment), cached queue totals
+// (accumulated floats, restored bit-for-bit rather than re-summed), transfer
+// shard lanes, RNG stream positions, counters and response-time moments.
+//
+// Not captured, by design: the topology, link parameters, policy and arrival
+// function (code and immutable configuration — the caller passes the same
+// Config to Restore, and the header cross-checks node/edge counts, the seed
+// and a link-parameter fingerprint); per-tick scratch (plan buffers,
+// outboxes, shard partials), which is empty between ticks; and policy
+// internals, which the engine requires to be stateless between ticks (the
+// harness's snapshot twin runs a freshly constructed policy to enforce
+// exactly that).
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"pplb/internal/stats"
+	"pplb/internal/taskmodel"
+)
+
+// SnapshotVersion is the format version byte written after the magic. Bump it
+// on any encoding change; Restore rejects other versions.
+const SnapshotVersion = 1
+
+var snapshotMagic = [8]byte{'P', 'P', 'L', 'B', 'S', 'N', 'A', 'P'}
+
+// snapWriter appends little-endian fields to a growing buffer.
+type snapWriter struct{ b []byte }
+
+func (w *snapWriter) raw(p []byte)  { w.b = append(w.b, p...) }
+func (w *snapWriter) u8(v byte)     { w.b = append(w.b, v) }
+func (w *snapWriter) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *snapWriter) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *snapWriter) i64(v int64)   { w.u64(uint64(v)) }
+func (w *snapWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *snapWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *snapWriter) rng(s [4]uint64) { w.u64(s[0]); w.u64(s[1]); w.u64(s[2]); w.u64(s[3]) }
+
+// snapReader consumes little-endian fields, latching the first error.
+type snapReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("sim: snapshot: "+format, args...)
+	}
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off < n {
+		r.fail("truncated at offset %d (need %d more bytes)", r.off, n)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *snapReader) u8() byte {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *snapReader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *snapReader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *snapReader) i64() int64   { return int64(r.u64()) }
+func (r *snapReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *snapReader) bool() bool {
+	switch v := r.u8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("invalid bool byte %d at offset %d", v, r.off-1)
+		return false
+	}
+}
+
+func (r *snapReader) rng() [4]uint64 {
+	return [4]uint64{r.u64(), r.u64(), r.u64(), r.u64()}
+}
+
+// count reads a u64 element count and bounds it by the bytes remaining (each
+// element occupies at least min bytes), so a corrupt length cannot drive a
+// giant allocation.
+func (r *snapReader) count(min int) int {
+	n := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off)/uint64(min) {
+		r.fail("implausible count %d at offset %d (%d bytes remain)", n, r.off-8, len(r.b)-r.off)
+		return 0
+	}
+	return int(n)
+}
+
+// Snapshot serializes the complete engine state. Call it between ticks (never
+// concurrently with Step). The bytes are canonical: two engines in the same
+// semantic state produce identical snapshots, so snapshot equality is state
+// equality. Snapshot allocates — it is a checkpoint operation, not a tick
+// operation — and leaves the engine untouched.
+func (e *Engine) Snapshot() ([]byte, error) {
+	s := e.state
+	st := s.tasks
+	capn := st.Cap()
+
+	est := 128 + len(s.linkBusy) + capn*63 + len(st.FreeList())*4 +
+		len(s.queues)*16 + s.InFlight()*22 + len(s.movingResident)*16
+	w := &snapWriter{b: make([]byte, 0, est)}
+
+	// Header: identity of the immutable configuration this state belongs to.
+	w.raw(snapshotMagic[:])
+	w.u8(SnapshotVersion)
+	w.u64(uint64(s.g.N()))
+	w.u64(uint64(s.g.NumEdges()))
+	w.u64(e.cfg.Seed)
+	w.u64(s.links.Fingerprint())
+	w.bool(s.active != nil)
+
+	// Scalars, counters, metrics, RNG stream positions.
+	w.i64(s.tick)
+	w.i64(int64(s.nextTaskID))
+	c := &s.counters
+	w.i64(c.Migrations)
+	w.f64(c.MigratedLoad)
+	w.f64(c.Traffic)
+	w.f64(c.BouncedTraffic)
+	w.i64(c.Faults)
+	w.i64(c.Rejected)
+	w.f64(c.Injected)
+	w.f64(c.Consumed)
+	w.i64(c.TasksCompleted)
+	rs := s.respTime.State()
+	w.i64(int64(rs.N))
+	w.f64(rs.Mean)
+	w.f64(rs.M2)
+	w.f64(rs.Min)
+	w.f64(rs.Max)
+	w.rng(e.planBase.State())
+	w.rng(e.faultBase.State())
+	w.rng(e.arrivalRNG.State())
+
+	// Link busy flags, in canonical edge order.
+	for _, busy := range s.linkBusy {
+		w.bool(busy)
+	}
+
+	// Task arena: every slot (dead ones as a bare -1 id), then the free-list
+	// in exact recycling order — it determines every future handle assignment.
+	// Node/slot lanes are not encoded; the owning queues rebuild them.
+	w.u64(uint64(capn))
+	for h := 0; h < capn; h++ {
+		ss := st.SlotStateAt(taskmodel.Handle(h))
+		w.i64(int64(ss.ID))
+		if ss.ID < 0 {
+			continue
+		}
+		w.f64(ss.Load)
+		w.f64(ss.Flag)
+		w.bool(ss.Moving)
+		w.u32(uint32(ss.Origin))
+		w.u32(uint32(ss.Prev))
+		w.u32(uint32(ss.Hops))
+		w.i64(ss.Birth)
+		w.i64(ss.Done)
+		w.i64(ss.MovedTick)
+	}
+	w.i64(int64(st.IDBound()))
+	free := st.FreeList()
+	w.u64(uint64(len(free)))
+	for _, h := range free {
+		w.u32(uint32(h))
+	}
+
+	// Queues: resident handles front-to-back plus the cached total, whose
+	// exact bits carry the accumulated add/remove history.
+	for v := range s.queues {
+		q := &s.queues[v]
+		hs := q.Handles()
+		w.u64(uint64(len(hs)))
+		for _, h := range hs {
+			w.u32(uint32(h))
+		}
+		w.f64(q.Total())
+	}
+
+	// Transfer shards, in shard order, store order within each shard.
+	for k := range s.shards {
+		sh := &s.shards[k]
+		w.u64(uint64(sh.len()))
+		for i := range sh.task {
+			w.u32(uint32(sh.task[i]))
+			w.u32(uint32(sh.from[i]))
+			w.u32(uint32(sh.to[i]))
+			w.u32(uint32(sh.edge[i]))
+			w.u32(uint32(sh.remaining[i]))
+			w.bool(sh.bounce[i])
+			w.bool(sh.moving[i])
+		}
+	}
+
+	// In-flight aggregates: the scalar plus the ascending non-zero entries of
+	// the per-node vector. Epoch, stamps and touched lists are rebuilt fresh
+	// on restore (see the package comment on canonicalization).
+	w.f64(s.inflightLoad)
+	nz := 0
+	for _, x := range s.inflightTo {
+		if x != 0 {
+			nz++
+		}
+	}
+	w.u64(uint64(nz))
+	for v, x := range s.inflightTo {
+		if x != 0 {
+			w.u32(uint32(v))
+			w.f64(x)
+		}
+	}
+
+	// Inertia records delivered last tick (settle-pass input). Entries may
+	// reference already-released slots; the settle pass revalidates by id, so
+	// they serialize verbatim.
+	w.u64(uint64(len(s.movingResident)))
+	for _, mr := range s.movingResident {
+		w.u32(uint32(mr.h))
+		w.i64(int64(mr.id))
+		w.u32(uint32(mr.node))
+	}
+
+	// Active set: pending bits only; the shard mask is derived on restore.
+	if s.active != nil {
+		w.u64(uint64(len(s.active.pending)))
+		for _, word := range s.active.pending {
+			w.u64(word)
+		}
+	}
+	return w.b, nil
+}
+
+// Restore rebuilds a running engine from a snapshot. cfg must describe the
+// same system the snapshot was taken from — same graph shape, link
+// parameters, seed, and the same active-set mode (policy locality ×
+// FullSweep) — but may differ in Workers: a Workers=8 run resumes
+// bit-identically on a Workers=1 engine and vice versa. cfg.Initial is
+// ignored (the snapshot carries the real workload). The policy instance in
+// cfg is used as-is and must be freshly constructed or otherwise stateless:
+// the engine contract is that policies carry no mutable state between ticks.
+func Restore(data []byte, cfg Config) (*Engine, error) {
+	r := &snapReader{b: data}
+	var magic [8]byte
+	copy(magic[:], r.take(8))
+	if r.err == nil && magic != snapshotMagic {
+		return nil, errors.New("sim: snapshot: bad magic (not a pplb engine snapshot)")
+	}
+	if v := r.u8(); r.err == nil && v != SnapshotVersion {
+		return nil, fmt.Errorf("sim: snapshot: version %d, this build reads version %d", v, SnapshotVersion)
+	}
+	n := r.u64()
+	edges := r.u64()
+	seed := r.u64()
+	linksFP := r.u64()
+	hasActive := r.bool()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if cfg.Graph == nil {
+		return nil, errors.New("sim: Restore requires Config.Graph")
+	}
+	if int64(cfg.Graph.N()) != int64(n) {
+		return nil, fmt.Errorf("sim: snapshot: taken on %d nodes, config has %d", n, cfg.Graph.N())
+	}
+	if int64(cfg.Graph.NumEdges()) != int64(edges) {
+		return nil, fmt.Errorf("sim: snapshot: taken with %d edges, config has %d", edges, cfg.Graph.NumEdges())
+	}
+	if cfg.Seed != seed {
+		return nil, fmt.Errorf("sim: snapshot: taken with seed %#x, config has %#x", seed, cfg.Seed)
+	}
+	cfg.Initial = nil
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fp := e.state.links.Fingerprint(); fp != linksFP {
+		e.Close()
+		return nil, fmt.Errorf("sim: snapshot: link-parameter fingerprint %#x, config has %#x", linksFP, fp)
+	}
+	if (e.state.active != nil) != hasActive {
+		e.Close()
+		mode := func(b bool) string {
+			if b {
+				return "incremental (active-set)"
+			}
+			return "full-sweep"
+		}
+		return nil, fmt.Errorf("sim: snapshot: taken on a %s engine, config builds a %s one (policy locality or FullSweep mismatch)",
+			mode(hasActive), mode(e.state.active != nil))
+	}
+	if err := e.restoreBody(r); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// restoreBody decodes everything after the header into a freshly built,
+// empty engine.
+func (e *Engine) restoreBody(r *snapReader) error {
+	s := e.state
+	n := s.g.N()
+
+	s.tick = r.i64()
+	s.nextTaskID = taskmodel.ID(r.i64())
+	s.counters.Migrations = r.i64()
+	s.counters.MigratedLoad = r.f64()
+	s.counters.Traffic = r.f64()
+	s.counters.BouncedTraffic = r.f64()
+	s.counters.Faults = r.i64()
+	s.counters.Rejected = r.i64()
+	s.counters.Injected = r.f64()
+	s.counters.Consumed = r.f64()
+	s.counters.TasksCompleted = r.i64()
+	var rs stats.OnlineState
+	rs.N = int(r.i64())
+	rs.Mean = r.f64()
+	rs.M2 = r.f64()
+	rs.Min = r.f64()
+	rs.Max = r.f64()
+	s.respTime.SetState(rs)
+	e.planBase.SetState(r.rng())
+	e.faultBase.SetState(r.rng())
+	e.arrivalRNG.SetState(r.rng())
+	for i := range s.linkBusy {
+		s.linkBusy[i] = r.bool()
+	}
+	if r.err != nil {
+		return r.err
+	}
+
+	// Arena.
+	capn := r.count(8)
+	slots := make([]taskmodel.SlotState, capn)
+	for h := range slots {
+		id := taskmodel.ID(r.i64())
+		if id < 0 {
+			slots[h] = taskmodel.SlotState{ID: -1}
+			continue
+		}
+		slots[h] = taskmodel.SlotState{
+			ID:     id,
+			Load:   r.f64(),
+			Flag:   r.f64(),
+			Moving: r.bool(),
+			Origin: int32(r.u32()),
+			Prev:   int32(r.u32()),
+			Hops:   int32(r.u32()),
+			Birth:  r.i64(),
+			Done:   r.i64(),
+		}
+		slots[h].MovedTick = r.i64()
+	}
+	idBound := taskmodel.ID(r.i64())
+	free := make([]taskmodel.Handle, r.count(4))
+	for i := range free {
+		free[i] = taskmodel.Handle(r.u32())
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if err := s.tasks.RestoreSnapshot(slots, free, idBound); err != nil {
+		return err
+	}
+	st := s.tasks
+
+	// Queues: rebuild residency (claiming node/slot lanes), then the
+	// occupancy index the engine normally maintains via noteTaskAdded.
+	var hbuf []taskmodel.Handle
+	for v := range s.queues {
+		cnt := r.count(4)
+		hbuf = hbuf[:0]
+		for i := 0; i < cnt; i++ {
+			h := taskmodel.Handle(r.u32())
+			if r.err == nil && !st.Alive(h) {
+				r.fail("queue %d references dead handle %d", v, h)
+			}
+			hbuf = append(hbuf, h)
+		}
+		total := r.f64()
+		if r.err != nil {
+			return r.err
+		}
+		s.queues[v].Restore(hbuf, total)
+		if ln := s.queues[v].Len(); ln > 0 {
+			s.shardTasks[s.nodeShard[v]] += int64(ln)
+			s.occupied.set(v)
+		}
+	}
+
+	// Transfer shards.
+	for k := range s.shards {
+		cnt := r.count(22)
+		sh := &s.shards[k]
+		lo, hi := s.shardLo[k], s.shardLo[k+1]
+		for i := 0; i < cnt; i++ {
+			rec := transferRec{
+				task:      taskmodel.Handle(r.u32()),
+				from:      int32(r.u32()),
+				to:        int32(r.u32()),
+				edge:      int32(r.u32()),
+				remaining: int32(r.u32()),
+				bounce:    r.bool(),
+				moving:    r.bool(),
+			}
+			if r.err != nil {
+				return r.err
+			}
+			switch {
+			case !st.Alive(rec.task):
+				r.fail("shard %d transfer %d references dead handle %d", k, i, rec.task)
+			case int(rec.to) < lo || int(rec.to) >= hi:
+				r.fail("shard %d transfer %d destined to node %d outside [%d,%d)", k, i, rec.to, lo, hi)
+			case int(rec.from) < 0 || int(rec.from) >= n:
+				r.fail("shard %d transfer %d from invalid node %d", k, i, rec.from)
+			case int(rec.edge) < 0 || int(rec.edge) >= len(s.linkBusy):
+				r.fail("shard %d transfer %d on invalid edge %d", k, i, rec.edge)
+			case rec.remaining < 1:
+				r.fail("shard %d transfer %d with remaining latency %d", k, i, rec.remaining)
+			}
+			if r.err != nil {
+				return r.err
+			}
+			sh.push(rec)
+		}
+	}
+
+	// In-flight aggregates: stamps open in the fresh epoch (1, from New) and
+	// each restored entry lands on its owning shard's touched list, exactly
+	// as if the engine had accumulated it.
+	s.inflightLoad = r.f64()
+	nz := r.count(12)
+	prev := -1
+	for i := 0; i < nz; i++ {
+		v := int(r.u32())
+		x := r.f64()
+		if r.err != nil {
+			return r.err
+		}
+		if v <= prev || v >= n {
+			r.fail("inflight entry %d: node %d out of order or range", i, v)
+			return r.err
+		}
+		prev = v
+		s.inflightTo[v] = x
+		s.inflightStamp[v] = s.inflightEpoch
+		k := s.nodeShard[v]
+		e.parts[k].inflightTouched = append(e.parts[k].inflightTouched, int32(v))
+	}
+
+	// Inertia records.
+	mrn := r.count(16)
+	s.movingResident = make([]movingRec, 0, mrn)
+	for i := 0; i < mrn; i++ {
+		mr := movingRec{
+			h:    taskmodel.Handle(r.u32()),
+			id:   taskmodel.ID(r.i64()),
+			node: int32(r.u32()),
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if mr.h < 0 || int(mr.h) >= st.Cap() || int(mr.node) < 0 || int(mr.node) >= n {
+			r.fail("inertia record %d out of range (handle %d, node %d)", i, mr.h, mr.node)
+			return r.err
+		}
+		s.movingResident = append(s.movingResident, mr)
+	}
+
+	// Active set: overwrite the activateAll state New installed with the
+	// snapshot's pending bits and re-derive the shard mask.
+	if a := s.active; a != nil {
+		wn := r.count(8)
+		if r.err == nil && wn != len(a.pending) {
+			r.fail("active set has %d words, engine needs %d", wn, len(a.pending))
+		}
+		for i := range a.pending {
+			a.pending[i] = r.u64()
+		}
+		if rem := uint(n) & 63; rem != 0 && r.err == nil {
+			if a.pending[len(a.pending)-1]&^(1<<rem-1) != 0 {
+				r.fail("active set has bits beyond node %d", n-1)
+			}
+		}
+		if r.err != nil {
+			return r.err
+		}
+		a.pendingMask.Store(a.recomputePendingMask())
+	}
+
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("sim: snapshot: %d trailing bytes after decode", len(r.b)-r.off)
+	}
+	return nil
+}

@@ -192,6 +192,27 @@ func (o *Online) Min() float64 { return o.min }
 // Max returns the largest value added, or 0 if none.
 func (o *Online) Max() float64 { return o.max }
 
+// OnlineState is the exact internal state of an Online accumulator, exposed
+// for snapshot/restore. The float fields are raw accumulator values; restoring
+// them bit-for-bit reproduces the accumulator mid-stream.
+type OnlineState struct {
+	N    int
+	Mean float64
+	M2   float64
+	Min  float64
+	Max  float64
+}
+
+// State returns the accumulator's internal state for serialization.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max}
+}
+
+// SetState overwrites the accumulator with a state obtained from State.
+func (o *Online) SetState(s OnlineState) {
+	o.n, o.mean, o.m2, o.min, o.max = s.N, s.Mean, s.M2, s.Min, s.Max
+}
+
 // Histogram is a fixed-bin histogram over [Lo, Hi); values outside the range
 // are clamped into the first/last bin so that totals are preserved.
 type Histogram struct {

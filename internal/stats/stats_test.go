@@ -251,3 +251,25 @@ func BenchmarkSummarize(b *testing.B) {
 		_ = Summarize(xs)
 	}
 }
+
+// Online State/SetState must round-trip the exact accumulator internals, so
+// the engine's snapshot layer can restore mid-stream Welford moments
+// bit-for-bit.
+func TestOnlineStateRoundTrip(t *testing.T) {
+	var o Online
+	for _, x := range []float64{3.5, -1.25, 7, 0.125, 2.75, 9.5, -4} {
+		o.Add(x)
+	}
+	var r Online
+	r.SetState(o.State())
+	if r.N() != o.N() || r.Mean() != o.Mean() || r.Variance() != o.Variance() ||
+		r.Min() != o.Min() || r.Max() != o.Max() {
+		t.Fatalf("restored accumulator differs: %+v vs %+v", r.State(), o.State())
+	}
+	// Continuing to accumulate must stay bit-identical.
+	o.Add(11.5)
+	r.Add(11.5)
+	if o.State() != r.State() {
+		t.Fatalf("post-restore Add diverges: %+v vs %+v", o.State(), r.State())
+	}
+}

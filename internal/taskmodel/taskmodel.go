@@ -257,6 +257,116 @@ func (s *Store) SetMovedTick(h Handle, tick int64) { s.movedTick[h] = tick }
 // AddHop increments the task's hop count.
 func (s *Store) AddHop(h Handle) { s.hops[h]++ }
 
+// SlotState is the serializable state of one arena slot: every lane except
+// node/slot, which are queue residency state and are rebuilt by Queue.Restore
+// when the owning queue re-adds the handle. A dead (free) slot has ID -1 and
+// all other fields zero.
+type SlotState struct {
+	ID        ID
+	Load      float64
+	Flag      float64
+	Moving    bool
+	Origin    int32
+	Prev      int32
+	Hops      int32
+	Birth     int64
+	Done      int64
+	MovedTick int64
+}
+
+// SlotStateAt returns the serializable state of slot h. Valid for dead slots
+// too (ID -1), so an encoder can walk all of [0, Cap).
+func (s *Store) SlotStateAt(h Handle) SlotState {
+	if s.id[h] < 0 {
+		return SlotState{ID: -1}
+	}
+	return SlotState{
+		ID: s.id[h], Load: s.load[h], Flag: s.flag[h], Moving: s.moving[h],
+		Origin: s.origin[h], Prev: s.prev[h], Hops: s.hops[h],
+		Birth: s.birth[h], Done: s.done[h], MovedTick: s.movedTick[h],
+	}
+}
+
+// FreeList returns the released slots in exact recycling order (Create pops
+// from the tail). The slice is shared; callers must not modify it. Snapshot
+// encoders serialize it verbatim: the free-list order determines every future
+// handle assignment, so a restored engine must reproduce it exactly.
+func (s *Store) FreeList() []Handle { return s.free }
+
+// RestoreSnapshot rebuilds the arena in place from serialized slot states.
+// slots[h] describes slot h for every h in [0, len(slots)); dead slots carry
+// ID -1 and must appear in free (in the original recycling order). idBound is
+// the exclusive upper bound on ids ever issued (Store.IDBound at snapshot
+// time) and sizes the id→handle index. Node/slot lanes are reset to -1; the
+// owning queues re-claim them via Queue.Restore. The store mutates in place
+// so queues already bound to it stay bound.
+func (s *Store) RestoreSnapshot(slots []SlotState, free []Handle, idBound ID) error {
+	n := len(slots)
+	s.id = make([]ID, n)
+	s.load = make([]float64, n)
+	s.flag = make([]float64, n)
+	s.moving = make([]bool, n)
+	s.origin = make([]int32, n)
+	s.prev = make([]int32, n)
+	s.node = make([]int32, n)
+	s.slot = make([]int32, n)
+	s.hops = make([]int32, n)
+	s.birth = make([]int64, n)
+	s.done = make([]int64, n)
+	s.movedTick = make([]int64, n)
+	if idBound < 0 {
+		return fmt.Errorf("taskmodel: restore: negative id bound %d", idBound)
+	}
+	s.byID = make([]Handle, idBound)
+	for i := range s.byID {
+		s.byID[i] = NoHandle
+	}
+	s.live = 0
+	for h, st := range slots {
+		s.node[h] = -1
+		s.slot[h] = -1
+		if st.ID < 0 {
+			s.id[h] = -1
+			s.prev[h] = -1
+			s.done[h] = -1
+			s.movedTick[h] = -1
+			continue
+		}
+		if st.ID >= idBound {
+			return fmt.Errorf("taskmodel: restore: slot %d id %d >= id bound %d", h, st.ID, idBound)
+		}
+		if s.byID[st.ID] != NoHandle {
+			return fmt.Errorf("taskmodel: restore: duplicate id %d in slots %d and %d", st.ID, s.byID[st.ID], h)
+		}
+		s.id[h] = st.ID
+		s.load[h] = st.Load
+		s.flag[h] = st.Flag
+		s.moving[h] = st.Moving
+		s.origin[h] = st.Origin
+		s.prev[h] = st.Prev
+		s.hops[h] = st.Hops
+		s.birth[h] = st.Birth
+		s.done[h] = st.Done
+		s.movedTick[h] = st.MovedTick
+		s.byID[st.ID] = Handle(h)
+		s.live++
+	}
+	s.free = make([]Handle, len(free))
+	for i, h := range free {
+		if h < 0 || int(h) >= n {
+			return fmt.Errorf("taskmodel: restore: free-list handle %d out of range [0,%d)", h, n)
+		}
+		if s.id[h] >= 0 {
+			return fmt.Errorf("taskmodel: restore: free-list handle %d addresses live task %d", h, s.id[h])
+		}
+		s.free[i] = h
+	}
+	if s.live+len(s.free) != n {
+		return fmt.Errorf("taskmodel: restore: %d live + %d free != %d slots", s.live, len(s.free), n)
+	}
+	return nil
+}
+
 // TaskAt materialises a snapshot of slot h. Mutating the snapshot does not
 // touch the store.
 func (s *Store) TaskAt(h Handle) Task {
@@ -750,6 +860,22 @@ func (q *Queue) compact() {
 		q.st.slot[q.buf[j]] = int32(j)
 	}
 	q.head = 0
+}
+
+// Restore rebuilds the queue's residency from handles (front-to-back order),
+// claiming the node/slot lanes, then overwrites the cached total with the
+// exact serialized bits — the cached float is accumulated state, and a
+// rebuilt sum could differ in the last ulp from the original's add/remove
+// history. The queue canonicalizes on restore: head is 0 regardless of where
+// the original buffer's consumed prefix stood (nothing behavioral reads
+// absolute buffer positions).
+func (q *Queue) Restore(handles []Handle, total float64) {
+	q.buf = q.buf[:0]
+	q.head = 0
+	for _, h := range handles {
+		q.Add(h)
+	}
+	q.total = total
 }
 
 // ByLoadDesc returns resident task snapshots sorted by descending load

@@ -332,6 +332,43 @@ func NewSystem(g *Graph, policy Policy, opts ...Option) (*System, error) {
 	return &System{engine: e, collector: col}, nil
 }
 
+// Snapshot serialises the complete engine state — queues, task arena,
+// in-flight transfers, link and RNG state, counters — into a versioned
+// binary blob. Restoring it with RestoreSystem and stepping produces
+// byte-identical state and identical metrics to the uninterrupted run at
+// every subsequent tick, regardless of worker count on either side. The
+// metrics collector's accumulated series are not part of the snapshot; a
+// restored system starts a fresh series from the resume tick.
+func (s *System) Snapshot() ([]byte, error) { return s.engine.Snapshot() }
+
+// RestoreSystem rebuilds a System from a Snapshot blob. The graph, policy
+// and options must describe the same configuration the snapshot was taken
+// under (topology, link parameters, seed, full-sweep mode — mismatches are
+// rejected loudly); WithInitial is ignored because the snapshot carries the
+// full task population. The worker count may differ from the snapshotting
+// system's: resume is bit-identical either way.
+func RestoreSystem(g *Graph, policy Policy, snapshot []byte, opts ...Option) (*System, error) {
+	c := &sysConfig{every: 1}
+	c.sim.Graph = g
+	c.sim.Policy = policy
+	for _, o := range opts {
+		o(c)
+	}
+	col := metrics.NewCollector(c.every)
+	prev := c.sim.OnTick
+	c.sim.OnTick = func(s *State) {
+		col.OnTick(s)
+		if prev != nil {
+			prev(s)
+		}
+	}
+	e, err := sim.Restore(snapshot, c.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &System{engine: e, collector: col}, nil
+}
+
 // Run advances the system by n ticks.
 func (s *System) Run(n int) { s.engine.Run(n) }
 

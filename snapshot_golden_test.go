@@ -1,0 +1,71 @@
+package pplb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The production-scale resume pin, anchored to the 500-tick identity pin
+// (TestTorus16384BitIdentity500Ticks): snapshotting the Torus16384 bench
+// scenario mid-run, restoring it through the public facade with a fresh
+// balancer instance, and running both the uninterrupted and the resumed
+// system to tick 500 must land on identical counters, bitwise-identical
+// per-node loads, and byte-identical engine snapshots. This is the
+// handle-stability guarantee of the snapshot format made executable at the
+// scale the benchmarks track.
+func TestTorus16384SnapshotResume500Ticks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-node 500-tick run is too slow for -short")
+	}
+	sc := tickBenchScenario("TickPPLBTorus16384")
+	if sc == nil {
+		t.Fatal("scenario TickPPLBTorus16384 missing")
+	}
+
+	full, err := sc.New() // warmed to tick 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	full.Run(490) // tick 500
+
+	half, err := sc.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.Run(240) // tick 250
+	snap, err := half.Snapshot()
+	half.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := RestoreSystem(Torus(128, 128), NewBalancer(DefaultBalancerConfig()), snap,
+		WithSeed(1), WithWorkers(8), WithMetricsEvery(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	resumed.Run(250) // tick 500
+
+	if fc, rc := full.Counters(), resumed.Counters(); fc != rc {
+		t.Fatalf("counters diverge after resume:\nfull:    %+v\nresumed: %+v", fc, rc)
+	}
+	fullLoads, resLoads := full.Loads(), resumed.Loads()
+	for v := range fullLoads {
+		if fullLoads[v] != resLoads[v] {
+			t.Fatalf("load at node %d diverges: full=%v resumed=%v", v, fullLoads[v], resLoads[v])
+		}
+	}
+	a, err := full.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := resumed.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("final snapshots differ (%d vs %d bytes) despite equal counters and loads", len(a), len(b))
+	}
+}
