@@ -7,23 +7,33 @@
 // forgotten pooled buffer, a snapshot materialised on a hot path) fails
 // here long before it shows up as a benchmark regression.
 //
-// Only sequential (Workers=1) scenarios are gated: testing.AllocsPerRun
-// counts mallocs across every goroutine, so parallel-pipeline scenarios
-// would pick up scheduler noise that is not the engine's doing. The gate is
+// Since the fused worker loop (PR 9) the gate also covers the parallel
+// engine at Workers=8: the fused dispatch publishes phases by atomic counter
+// with prebuilt closures and parks workers on preallocated channels, so a
+// parallel steady-state tick allocates exactly as little as a sequential
+// one — on both sides of the adaptive serial cutover. (testing.AllocsPerRun
+// counts mallocs across every goroutine, which is fine here: idle fused
+// workers allocate nothing, so any count is the engine's own.) The gate is
 // excluded under -race because the race runtime itself allocates.
 package pplb
 
 import "testing"
 
 // allocGateScenarios are the steady-state tick scenarios pinned to zero
-// allocations per Step. All run the full inject/plan/move/transfer/service/
-// settle pipeline on one goroutine.
+// allocations per Step. The first group runs the full inject/plan/move/
+// transfer/service/settle pipeline on one goroutine; the two Workers=8
+// scenarios pin the parallel paths: the converged incremental engine runs
+// its tiny ticks inline under the serial cutover (zero wakeups, zero
+// allocs), while its FullSweep twin estimates N=16,384 work units per tick
+// and therefore exercises the fused dispatch itself.
 var allocGateScenarios = []string{
 	"TickPPLBTorus256",
 	"TickPPLBTorus1024",
 	"TickDiffusionTorus256",
 	"TickGMTorus256",
 	"TickPPLBTorus16384W1",
+	"TickSteadyStateTorus16384",
+	"TickSteadyStateTorus16384FullSweep",
 }
 
 func TestSteadyStateTickZeroAllocs(t *testing.T) {

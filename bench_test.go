@@ -113,8 +113,14 @@ func BenchmarkTickPPLBParallel(b *testing.B) { benchTickScenario(b, "TickPPLBPar
 func BenchmarkTickPPLBTorus16384(b *testing.B) { benchTickScenario(b, "TickPPLBTorus16384") }
 
 // BenchmarkTickPPLBTorus16384W1 is the sequential twin of Torus16384: the
-// ratio of the two is the whole-tick parallel speedup on this commit.
+// ratio of the two is the whole-tick parallel speedup on this commit. W2 and
+// W4 fill in the sweep (see ParallelSweeps), so the scaling curve — not just
+// its endpoints — is on record for every PR.
 func BenchmarkTickPPLBTorus16384W1(b *testing.B) { benchTickScenario(b, "TickPPLBTorus16384W1") }
+
+func BenchmarkTickPPLBTorus16384W2(b *testing.B) { benchTickScenario(b, "TickPPLBTorus16384W2") }
+
+func BenchmarkTickPPLBTorus16384W4(b *testing.B) { benchTickScenario(b, "TickPPLBTorus16384W4") }
 
 // BenchmarkTickPPLBRR65536 measures one parallel PPLB tick on a 65,536-node
 // random 4-regular graph — the scalability ceiling scenario.
@@ -138,8 +144,15 @@ func BenchmarkTickSteadyStateTorus16384FullSweep(b *testing.B) {
 
 // BenchmarkTickPPLBSparse1M measures one tick on a 1,048,576-node torus with
 // load concentrated in 64 hotspots — only the spreading fronts are active, so
-// tick cost is O(changed), not O(N). Infeasible as a full sweep.
+// tick cost is O(changed), not O(N). Infeasible as a full sweep. The W1/W2/W4
+// variants complete the worker sweep in the sparse regime.
 func BenchmarkTickPPLBSparse1M(b *testing.B) { benchTickScenario(b, "TickPPLBSparse1M") }
+
+func BenchmarkTickPPLBSparse1MW1(b *testing.B) { benchTickScenario(b, "TickPPLBSparse1MW1") }
+
+func BenchmarkTickPPLBSparse1MW2(b *testing.B) { benchTickScenario(b, "TickPPLBSparse1MW2") }
+
+func BenchmarkTickPPLBSparse1MW4(b *testing.B) { benchTickScenario(b, "TickPPLBSparse1MW4") }
 
 // BenchmarkStaticMapping measures the simulated-annealing mapper.
 func BenchmarkStaticMapping(b *testing.B) {

@@ -91,7 +91,7 @@ func steadyStateScenario(name string, warm int, fullSweep bool) TickBenchScenari
 // of the machine — is ever active. A full sweep plans a million nodes per
 // tick regardless; with the active set, tick cost tracks the front size and
 // the scenario is feasible on a laptop.
-func sparse1MScenario(name string) TickBenchScenario {
+func sparse1MScenario(name string, workers int) TickBenchScenario {
 	return TickBenchScenario{
 		Name: name,
 		New: func() (*System, error) {
@@ -99,7 +99,7 @@ func sparse1MScenario(name string) TickBenchScenario {
 			sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
 				WithInitial(MultiHotspotLoad(g.N(), 64, 65536, 1)),
 				WithSeed(1),
-				WithWorkers(8),
+				WithWorkers(workers),
 				WithMetricsEvery(1<<30),
 			)
 			if err != nil {
@@ -134,13 +134,53 @@ func TickBenchScenarios() []TickBenchScenario {
 		// on the same commit.
 		parallelScenario("TickPPLBTorus16384", func() *Graph { return Torus(128, 128) }, 4, 8, 10),
 		parallelScenario("TickPPLBTorus16384W1", func() *Graph { return Torus(128, 128) }, 4, 1, 10),
+		parallelScenario("TickPPLBTorus16384W2", func() *Graph { return Torus(128, 128) }, 4, 2, 10),
+		parallelScenario("TickPPLBTorus16384W4", func() *Graph { return Torus(128, 128) }, 4, 4, 10),
 		parallelScenario("TickPPLBRR65536", func() *Graph { return RandomRegular(65536, 4, 7) }, 2, 8, 5),
 		// The active-set pair (PR 6): post-convergence tick cost with and
 		// without incremental planning, from bit-identical states. The delta
 		// between the two is the O(changed)-vs-O(N) headline.
 		steadyStateScenario("TickSteadyStateTorus16384", 400, false),
 		steadyStateScenario("TickSteadyStateTorus16384FullSweep", 400, true),
-		sparse1MScenario("TickPPLBSparse1M"),
+		sparse1MScenario("TickPPLBSparse1M", 8),
+		sparse1MScenario("TickPPLBSparse1MW1", 1),
+		sparse1MScenario("TickPPLBSparse1MW2", 2),
+		sparse1MScenario("TickPPLBSparse1MW4", 4),
+	}
+}
+
+// ParallelSweep is a worker-count scan of one scenario family: the same
+// system measured at Workers ∈ {1, 2, 4, 8}, everything else identical. The
+// ratio of the W1 and W8 entries is the whole-tick parallel speedup of the
+// fused worker loop on the measuring host; `pplb-bench -benchjson` computes
+// it into the record's parallel_speedup field and CI annotates when a
+// multi-core runner measures below target.
+type ParallelSweep struct {
+	Name string
+	// Scenarios maps worker count to the scenario name in
+	// TickBenchScenarios measuring this family at that count.
+	Scenarios map[int]string
+}
+
+// ParallelSweeps returns the tracked worker-count sweeps. Torus16384 is the
+// dense production-scale workload (every node busy — the speedup ceiling);
+// Sparse1M is the active-set regime where only hotspot fronts are live, so
+// it measures how much of the fused dispatch survives when the per-tick work
+// is a few percent of the machine.
+func ParallelSweeps() []ParallelSweep {
+	return []ParallelSweep{
+		{Name: "Torus16384", Scenarios: map[int]string{
+			1: "TickPPLBTorus16384W1",
+			2: "TickPPLBTorus16384W2",
+			4: "TickPPLBTorus16384W4",
+			8: "TickPPLBTorus16384",
+		}},
+		{Name: "Sparse1M", Scenarios: map[int]string{
+			1: "TickPPLBSparse1MW1",
+			2: "TickPPLBSparse1MW2",
+			4: "TickPPLBSparse1MW4",
+			8: "TickPPLBSparse1M",
+		}},
 	}
 }
 

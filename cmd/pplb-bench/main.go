@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"testing"
 
 	"pplb"
@@ -42,7 +43,7 @@ import (
 // runner) can be discounted instead of read as a regression — the parallel
 // scenarios scale with both.
 type benchRecord struct {
-	Schema     string           `json:"schema"` // "pplb-bench/4"
+	Schema     string           `json:"schema"` // "pplb-bench/5"
 	GoVersion  string           `json:"go_version"`
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
@@ -50,6 +51,23 @@ type benchRecord struct {
 	NumCPU     int              `json:"num_cpu"`
 	Baseline   string           `json:"baseline,omitempty"` // BENCH_*.json the deltas compare against
 	Benchmarks []benchmarkEntry `json:"benchmarks"`
+
+	// ParallelSweeps (schema pplb-bench/5) summarises the worker-count scans
+	// of pplb.ParallelSweeps into per-count ns/op and the headline W8-vs-W1
+	// ratio. The numbers are only meaningful on a host whose GOMAXPROCS
+	// covers the swept counts — a single-core machine measures fused dispatch
+	// overhead, not scaling — which is why the multi-core CI bench job, not
+	// the merge gate, reads parallel_speedup.
+	ParallelSweeps []sweepEntry `json:"parallel_sweeps,omitempty"`
+}
+
+// sweepEntry is one computed worker sweep. NsPerOpByWorkers keys are decimal
+// worker counts ("1", "2", "4", "8"); ParallelSpeedup is W1 ns / W8 ns,
+// omitted (0) when a sweep scenario is missing from the run.
+type sweepEntry struct {
+	Sweep            string             `json:"sweep"`
+	NsPerOpByWorkers map[string]float64 `json:"ns_per_op_by_workers"`
+	ParallelSpeedup  float64            `json:"parallel_speedup,omitempty"`
 }
 
 type benchmarkEntry struct {
@@ -149,7 +167,7 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 	// truncated) output as its own baseline nor destroy an existing record
 	// on the error path.
 	rec := benchRecord{
-		Schema:     "pplb-bench/4",
+		Schema:     "pplb-bench/5",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -230,6 +248,27 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 		fmt.Fprintf(stdout, "%-32s %12.0f ns/op %8d B/op %6d allocs/op %3d GCs %8.2f MiB heap%s\n",
 			name, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp,
 			entry.GCCycles, float64(entry.HeapInuseBytes)/(1<<20), delta)
+	}
+	nsByName := make(map[string]float64, len(rec.Benchmarks))
+	for _, e := range rec.Benchmarks {
+		nsByName[e.Name] = e.NsPerOp
+	}
+	for _, sw := range pplb.ParallelSweeps() {
+		e := sweepEntry{Sweep: sw.Name, NsPerOpByWorkers: make(map[string]float64, len(sw.Scenarios))}
+		for w, scen := range sw.Scenarios {
+			if ns, ok := nsByName["Benchmark"+scen]; ok {
+				e.NsPerOpByWorkers[strconv.Itoa(w)] = ns
+			}
+		}
+		if len(e.NsPerOpByWorkers) == 0 {
+			continue // sweep not covered by this run (e.g. a filtered scenario list)
+		}
+		if w1, w8 := e.NsPerOpByWorkers["1"], e.NsPerOpByWorkers["8"]; w1 > 0 && w8 > 0 {
+			e.ParallelSpeedup = w1 / w8
+			fmt.Fprintf(stdout, "sweep %-26s %12.2fx W8-vs-W1 speedup (GOMAXPROCS=%d)\n",
+				sw.Name, e.ParallelSpeedup, rec.GOMAXPROCS)
+		}
+		rec.ParallelSweeps = append(rec.ParallelSweeps, e)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")

@@ -119,8 +119,11 @@ func TestBenchJSONDelta(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Schema != "pplb-bench/4" {
+	if rec.Schema != "pplb-bench/5" {
 		t.Fatalf("schema %q", rec.Schema)
+	}
+	if len(rec.ParallelSweeps) != 0 {
+		t.Fatalf("tiny scenarios cover no sweep, got %+v", rec.ParallelSweeps)
 	}
 	if rec.GOMAXPROCS <= 0 || rec.NumCPU <= 0 {
 		t.Fatalf("host metadata missing: gomaxprocs=%d num_cpu=%d", rec.GOMAXPROCS, rec.NumCPU)
@@ -143,6 +146,51 @@ func TestBenchJSONDelta(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "% vs "+baseline) {
 		t.Fatalf("delta not printed:\n%s", stdout.String())
+	}
+}
+
+// TestBenchJSONParallelSweeps runs scenarios named after a real worker sweep
+// (tiny systems — the names, not the workloads, drive the sweep section) and
+// checks the computed parallel_speedup record.
+func TestBenchJSONParallelSweeps(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var stdout bytes.Buffer
+	sweep := pplb.ParallelSweeps()[0] // Torus16384
+	var scenarios []pplb.TickBenchScenario
+	for _, name := range sweep.Scenarios {
+		scenarios = append(scenarios, tinyScenario(name))
+	}
+	if err := runBenchJSON(outPath, "none", scenarios, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	data, _ := os.ReadFile(outPath)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ParallelSweeps) != 1 {
+		t.Fatalf("%d sweeps recorded, want 1 (only %s is covered): %+v",
+			len(rec.ParallelSweeps), sweep.Name, rec.ParallelSweeps)
+	}
+	got := rec.ParallelSweeps[0]
+	if got.Sweep != sweep.Name {
+		t.Fatalf("sweep %q, want %q", got.Sweep, sweep.Name)
+	}
+	if len(got.NsPerOpByWorkers) != len(sweep.Scenarios) {
+		t.Fatalf("ns_per_op_by_workers covers %d counts, want %d: %+v",
+			len(got.NsPerOpByWorkers), len(sweep.Scenarios), got)
+	}
+	for w, ns := range got.NsPerOpByWorkers {
+		if ns <= 0 {
+			t.Fatalf("W%s recorded non-positive ns/op: %+v", w, got)
+		}
+	}
+	if want := got.NsPerOpByWorkers["1"] / got.NsPerOpByWorkers["8"]; got.ParallelSpeedup != want {
+		t.Fatalf("parallel_speedup = %v, want W1/W8 = %v", got.ParallelSpeedup, want)
+	}
+	if !strings.Contains(stdout.String(), "W8-vs-W1 speedup") {
+		t.Fatalf("sweep summary not printed:\n%s", stdout.String())
 	}
 }
 

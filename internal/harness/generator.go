@@ -92,7 +92,7 @@ func (s Spec) String() string {
 }
 
 // Scenario is a fully expanded Spec: everything needed to build the primary
-// engine and its Workers=1 twin.
+// engine and its lockstep twins (Workers ∈ {1, 3, 8} — see Run).
 type Scenario struct {
 	Spec        Spec
 	Family      string
@@ -120,20 +120,26 @@ type Scenario struct {
 
 // Config assembles the sim configuration for this scenario at the given
 // worker count. Each call builds a fresh policy instance, so the primary
-// and twin engines never share mutable policy state.
+// and twin engines never share mutable policy state. The serial cutover is
+// disabled: harness scenarios are small enough that the adaptive threshold
+// would route nearly every tick down the inline path, and the whole point of
+// running parallel engines here is to keep the fused dispatch machinery
+// under the invariant suite (the sweep twin re-enables the adaptive cutover
+// so the inline↔fused flipping gets covered too).
 func (sc *Scenario) Config(workers int) sim.Config {
 	return sim.Config{
-		Graph:       sc.Graph,
-		Links:       sc.Links,
-		Policy:      sc.NewPolicy(),
-		Seed:        sc.EngineSeed,
-		Initial:     sc.Initial,
-		TaskGraph:   sc.TaskGraph,
-		Resources:   sc.Resources,
-		Arrivals:    sc.Arrivals,
-		ServiceRate: sc.ServiceRate,
-		Speeds:      sc.Speeds,
-		Workers:     workers,
+		Graph:         sc.Graph,
+		Links:         sc.Links,
+		Policy:        sc.NewPolicy(),
+		Seed:          sc.EngineSeed,
+		Initial:       sc.Initial,
+		TaskGraph:     sc.TaskGraph,
+		Resources:     sc.Resources,
+		Arrivals:      sc.Arrivals,
+		ServiceRate:   sc.ServiceRate,
+		Speeds:        sc.Speeds,
+		Workers:       workers,
+		SerialCutover: -1,
 	}
 }
 

@@ -14,31 +14,36 @@ type Outcome struct {
 	Violation *Violation
 }
 
-// Run expands the spec, builds the primary engine, its Workers=1 twin, and a
-// full-sweep recompute twin, steps all three in lockstep, and checks the
-// invariant suite plus twin bit-identity and active-set soundness every
-// CheckEvery ticks (and always at the final tick). The first violation stops
-// the run.
+// Run expands the spec, builds the primary engine (Workers=8, fused path
+// forced), its Workers=1 twin, and a Workers=3 full-sweep recompute twin,
+// steps all three in lockstep, and checks the invariant suite plus twin
+// bit-identity and active-set soundness every CheckEvery ticks (and always
+// at the final tick). The first violation stops the run.
 //
 // Running the twins unconditionally triples the cost of every scenario, and
-// that is the point: the determinism contract (Workers=1 ≡ Workers=N) and
-// the active-set contract (incremental ≡ full sweep) are the invariants most
-// likely to break silently under engine refactors, so every generated
-// scenario doubles as an identity test for both. The sweep twin is built
-// even for scenarios whose policy forces full sweeps anyway — there it
-// degenerates to a second (cheap, still valid) identity check rather than a
-// special case in the runner.
+// that is the point: the determinism contract (Workers=1 ≡ Workers=3 ≡
+// Workers=8) and the active-set contract (incremental ≡ full sweep) are the
+// invariants most likely to break silently under engine refactors, so every
+// generated scenario doubles as an identity test for both. The worker counts
+// are chosen adversarially for the fused worker loop: 8 is the headline
+// parallel configuration, 3 is odd and divides neither the shard count (16)
+// nor 8, so shard claiming hands every worker a ragged share. The sweep twin
+// additionally re-enables the adaptive serial cutover (the other engines
+// force the fused path — see Scenario.Config), so scenarios whose work
+// estimate straddles the threshold flip between inline and fused ticks
+// mid-run and must still match the other twins exactly.
 //
 // A fourth engine checks the snapshot/resume contract: at the scenario's
 // midpoint the primary is snapshotted, the snapshot round-trips through
 // Restore (byte-equal re-encode, "snapshot-roundtrip"), and the restored
-// engine — built with Workers=1 and a fresh policy instance, so the check
-// also enforces that resume never depends on worker count or mutable policy
-// internals — runs in lockstep with the primary for the rest of the run.
-// At every check tick the two must produce byte-identical snapshots
-// ("snapshot-resume"); the canonical encoding makes snapshot equality state
-// equality, so any hidden field the encoder misses or the decoder rebuilds
-// differently diverges here, not in production resume.
+// engine — built with Workers=3 and a fresh policy instance, so the check
+// also enforces that resume never depends on worker count, fused barrier
+// state (always quiescent between ticks, hence absent from snapshots) or
+// mutable policy internals — runs in lockstep with the primary for the rest
+// of the run. At every check tick the two must produce byte-identical
+// snapshots ("snapshot-resume"); the canonical encoding makes snapshot
+// equality state equality, so any hidden field the encoder misses or the
+// decoder rebuilds differently diverges here, not in production resume.
 func Run(spec Spec) *Outcome {
 	sc := Generate(spec)
 	out := &Outcome{Scenario: sc}
@@ -60,8 +65,9 @@ func Run(spec Spec) *Outcome {
 		return out
 	}
 	defer twin.Close()
-	sweepCfg := sc.Config(1)
+	sweepCfg := sc.Config(3)
 	sweepCfg.FullSweep = true
+	sweepCfg.SerialCutover = 0 // adaptive: cover inline↔fused cutover flips
 	sweep, err := sim.New(sweepCfg)
 	if err != nil {
 		out.Violation = &Violation{Invariant: "engine-construct", Detail: fmt.Sprintf("sweep twin: %v", err)}
@@ -130,16 +136,19 @@ func Run(spec Spec) *Outcome {
 
 // buildResumeTwin snapshots the primary at tick, round-trips the snapshot
 // through Restore, and returns the restored engine for lockstep resume
-// checking. The twin is restored at Workers=1 with a fresh policy instance
+// checking. The twin is restored at Workers=3 with a fresh policy instance
 // even though the primary runs Workers=8, so every scenario also proves that
-// a snapshot taken on a parallel engine resumes identically on a sequential
-// one and that no policy smuggles mutable cross-tick state past the restore.
+// a snapshot taken on one fused pool resumes identically on another with a
+// different (odd, non-shard-dividing) worker count — the restore straddles
+// the pool's barrier, which is legal exactly because the barrier is
+// quiescent between ticks and owns no serialized state — and that no policy
+// smuggles mutable cross-tick state past the restore.
 func buildResumeTwin(sc *Scenario, primary *sim.Engine, tick int64) (*sim.Engine, *Violation) {
 	snap, err := primary.Snapshot()
 	if err != nil {
 		return nil, &Violation{Invariant: "snapshot-roundtrip", Tick: tick, Detail: "snapshot failed: " + err.Error()}
 	}
-	resumed, err := sim.Restore(snap, sc.Config(1))
+	resumed, err := sim.Restore(snap, sc.Config(3))
 	if err != nil {
 		return nil, &Violation{Invariant: "snapshot-roundtrip", Tick: tick, Detail: "restore failed: " + err.Error()}
 	}

@@ -83,6 +83,14 @@ type activeSet struct {
 
 	planMask    uint32        // shard summary of plan; single-threaded access
 	pendingMask atomic.Uint32 // shard summary of pending; mutators OR into it
+
+	// approxPending estimates |pending| for the adaptive serial cutover:
+	// mark increments it when the read-before-OR saw the bit clear, so two
+	// workers racing on the same node may both count it. The overcount is
+	// harmless — the counter only ever picks an execution path (inline vs
+	// fused), both bit-identical — and it resets to exact zero every
+	// beginTick, so error cannot accumulate across ticks.
+	approxPending atomic.Int64
 }
 
 func newActiveSet(n int, shardLo *[numShards + 1]int) *activeSet {
@@ -94,12 +102,20 @@ func newActiveSet(n int, shardLo *[numShards + 1]int) *activeSet {
 	}
 }
 
-// mark schedules node v (owned by the given shard) for re-planning.
+// mark schedules node v (owned by the given shard) for re-planning. The
+// read-before-OR both spares already-set bits a cache-line ownership
+// transfer and feeds the cutover estimate: only a transition from clear is
+// counted (approximately, under racing markers).
 func (a *activeSet) mark(v int, shard uint8) {
-	a.pending.set(v)
-	bit := uint32(1) << shard
-	if a.pendingMask.Load()&bit == 0 {
-		a.pendingMask.Or(bit)
+	w := &a.pending[v>>6]
+	bit := uint64(1) << (uint(v) & 63)
+	if atomic.LoadUint64(w)&bit == 0 {
+		atomic.OrUint64(w, bit)
+		a.approxPending.Add(1)
+	}
+	sbit := uint32(1) << shard
+	if a.pendingMask.Load()&sbit == 0 {
+		a.pendingMask.Or(sbit)
 	}
 }
 
@@ -109,6 +125,7 @@ func (a *activeSet) mark(v int, shard uint8) {
 func (a *activeSet) beginTick() {
 	a.plan, a.pending = a.pending, a.plan
 	a.planMask = a.pendingMask.Swap(0)
+	a.approxPending.Store(0) // the incoming pending buffer is empty again
 }
 
 // retire zeroes the consumed plan set. Only shards named in planMask can
@@ -141,6 +158,7 @@ func (a *activeSet) activateAll() {
 		}
 	}
 	a.pendingMask.Store(m)
+	a.approxPending.Store(int64(a.n))
 }
 
 // recomputePendingMask derives the per-shard summary mask from the pending

@@ -53,7 +53,6 @@ import (
 	"math/bits"
 	"runtime"
 	"slices"
-	"sync"
 	"sync/atomic"
 
 	"pplb/internal/linkmodel"
@@ -201,9 +200,11 @@ type State struct {
 	// occupancy bitset drives the service phase's node walk and shardTasks
 	// gates whole shards. Maintained unconditionally — the skip is
 	// float-exact (an empty queue consumes exactly nothing), so both the
-	// incremental and the full-sweep engine share it bit-for-bit.
+	// incremental and the full-sweep engine share it bit-for-bit. The
+	// counts are cache-line padded: each is plain-written by the worker
+	// running its shard, concurrently across shards.
 	occupied   nodeBits
-	shardTasks [numShards]int64
+	shardTasks [numShards]shardCount
 
 	view View // cached read-only face, so View() does not allocate
 }
@@ -212,14 +213,14 @@ type State struct {
 // node v. The shard count is a plain write: every call site runs either
 // sequentially or on the fan-out worker that owns v's shard.
 func (s *State) noteTaskAdded(v int) {
-	s.shardTasks[s.nodeShard[v]]++
+	s.shardTasks[s.nodeShard[v]].n++
 	s.occupied.set(v)
 }
 
 // noteTaskRemoved maintains the occupancy index after one task left node v's
 // queue.
 func (s *State) noteTaskRemoved(v int) {
-	s.shardTasks[s.nodeShard[v]]--
+	s.shardTasks[s.nodeShard[v]].n--
 	if s.queues[v].Len() == 0 {
 		s.occupied.clearBit(v)
 	}
@@ -470,9 +471,23 @@ type Config struct {
 	Speeds []float64
 
 	// Workers > 1 runs the whole tick pipeline (planning, move application,
-	// transfer advancement, service, arrival injection) on a goroutine pool.
-	// Results are bit-identical to the sequential engine.
+	// transfer advancement, service, arrival injection) on a fused worker
+	// loop of Workers participants (the calling goroutine plus Workers-1
+	// pool goroutines). Results are bit-identical to the sequential engine
+	// for every worker count, including odd, non-shard-dividing ones.
 	Workers int
+
+	// SerialCutover tunes the adaptive serial cutover of the parallel
+	// engine: a tick whose estimated work (nodes to re-plan + transfers in
+	// flight + arrivals + resident tasks under service) falls below the
+	// threshold runs inline on the calling goroutine with zero worker
+	// wakeups — post-convergence ticks are nanoseconds of work and must not
+	// pay dispatch. 0 selects DefaultSerialCutover; negative disables the
+	// cutover (every tick takes the fused parallel path — the harness twins
+	// use this to keep the fused machinery exercised on small scenarios).
+	// The setting is pure scheduling: both paths execute the same canonical
+	// algorithm, so it can never affect results.
+	SerialCutover int
 
 	// FullSweep disables the active-set planner: every node re-plans every
 	// tick even when the policy declares neighbourhood locality. The harness
@@ -491,6 +506,16 @@ type Config struct {
 // sequentially either way), so the threshold is a pure heuristic.
 const arrivalFanOut = 64
 
+// DefaultSerialCutover is the tick-work estimate (in work units: one node
+// planned, one transfer advanced, one arrival injected, one resident task
+// under service each count 1) below which a parallel engine runs the tick
+// inline instead of waking the fused worker loop. The fused dispatch costs
+// a few microseconds per tick (wakeup + per-phase barriers) and one work
+// unit costs on the order of 100ns, so the measured crossover sits at a few
+// hundred units; see BenchmarkFusedDispatchOverhead and the Workers-sweep
+// benchmarks that bracket it.
+const DefaultSerialCutover = 256
+
 // Engine drives the simulation.
 type Engine struct {
 	cfg   Config
@@ -504,15 +529,16 @@ type Engine struct {
 
 	planBuf  [][]Move
 	planEdge [][]int32 // canonical edge id per filtered move, aligned with planBuf
-	seqRNG   rng.RNG   // scratch stream for the inline (Workers <= 1) fan-out
+	seqRNG   rng.RNG   // scratch stream for the inline fan-out paths
 
-	// Persistent worker pool (Workers > 1), created once in New and reused
-	// for every phase fan-out of every tick; fanNext/fanWG and the single
-	// reusable job shell are the per-phase state.
-	pool    *planPool
-	fanNext atomic.Int64
-	fanWG   sync.WaitGroup
-	job     *fanJob
+	// Fused worker loop (Workers > 1), created once in New; its workers run
+	// the whole phase sequence of a tick, synchronizing on the pool's phase
+	// and arrival counters. parTick is the adaptive serial cutover's per-tick
+	// decision: false means this tick's estimated work is below cutover and
+	// every fan-out runs inline with zero wakeups.
+	fused   *fusedPool
+	parTick bool
+	cutover int
 	cleanup runtime.Cleanup
 
 	// Per-shard per-tick scratch (outboxes + partial reductions).
@@ -546,9 +572,9 @@ type Engine struct {
 // also cleaned up automatically, so Close is an optimisation for tight loops
 // that build many parallel engines, not an obligation.
 func (e *Engine) Close() {
-	if e.pool != nil {
+	if e.fused != nil {
 		e.cleanup.Stop()
-		e.pool.close()
+		e.fused.close()
 	}
 }
 
@@ -643,14 +669,21 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	e.cutover = cfg.SerialCutover
+	switch {
+	case e.cutover == 0:
+		e.cutover = DefaultSerialCutover
+	case e.cutover < 0:
+		e.cutover = 0 // estimates are never negative: every tick goes parallel
+	}
 	if cfg.Workers > 1 {
-		e.pool = newPlanPool(cfg.Workers)
-		e.job = new(fanJob)
+		e.fused = newFusedPool(cfg.Workers)
 		// Reclaim the pool goroutines when the engine is dropped without an
 		// explicit Close. The cleanup captures only the pool, never the
 		// engine, so it runs as soon as the engine is unreachable; workers
-		// hold no engine reference between ticks (fanOut strips the job).
-		e.cleanup = runtime.AddCleanup(e, func(p *planPool) { p.close() }, e.pool)
+		// hold no engine reference between ticks (fanOut nils the phase
+		// closure once the last worker arrives).
+		e.cleanup = runtime.AddCleanup(e, func(p *fusedPool) { p.close() }, e.fused)
 	}
 	for v, sizes := range cfg.Initial {
 		for _, load := range sizes {
@@ -705,6 +738,30 @@ func (e *Engine) RunUntil(pred func(*State) bool, maxTicks int) (int, bool) {
 	return maxTicks, pred(e.state)
 }
 
+// tickWorkEstimate approximates this tick's work in fan-out work units:
+// nodes to re-plan (the active set's approximate pending count, or all N on
+// a full-sweep engine), transfers to advance, arrivals to inject, and — when
+// service runs — resident tasks as a proxy for the occupancy walk. Every
+// input is O(numShards) or O(1) to read, so the estimate itself never costs
+// a scan. It only ever picks an execution path (inline vs fused), both
+// bit-identical, so approximation error is a performance wobble at the
+// cutover boundary, never a correctness hazard.
+func (e *Engine) tickWorkEstimate(arrivals int) int {
+	s := e.state
+	w := arrivals + s.InFlight()
+	if a := s.active; a != nil {
+		w += int(a.approxPending.Load())
+	} else {
+		w += s.g.N()
+	}
+	if e.cfg.ServiceRate > 0 {
+		for k := range s.shardTasks {
+			w += int(s.shardTasks[k].n)
+		}
+	}
+	return w
+}
+
 // Step executes one tick of the sharded pipeline.
 func (e *Engine) Step() {
 	s := e.state
@@ -713,10 +770,19 @@ func (e *Engine) Step() {
 	// sequentially; large batches fan the queue insertion out across the
 	// node shards (each shard places the arrivals it owns, in batch order,
 	// which yields exactly the sequential per-queue insertion order).
+	//
+	// The adaptive serial cutover decides here — once per tick, after the
+	// arrival batch is known — whether the tick is worth waking the fused
+	// worker loop at all. Below cutover every fan-out of this tick runs
+	// inline: a post-convergence tick touches the workers not even once.
+	var arr []Arrival
 	if e.cfg.Arrivals != nil {
 		e.arrivalRNG.SplitInto(uint64(s.tick), &e.arrScratch)
-		arr := e.cfg.Arrivals(s.tick, &e.arrScratch)
-		if e.pool != nil && len(arr) >= arrivalFanOut {
+		arr = e.cfg.Arrivals(s.tick, &e.arrScratch)
+	}
+	e.parTick = e.fused != nil && e.tickWorkEstimate(len(arr)) >= e.cutover
+	if len(arr) > 0 {
+		if e.parTick && len(arr) >= arrivalFanOut {
 			for _, a := range arr {
 				if a.Node < 0 || a.Node >= s.g.N() || a.Load <= 0 {
 					continue
@@ -828,7 +894,7 @@ func (e *Engine) Step() {
 	if e.cfg.ServiceRate > 0 {
 		shards := e.fanShards[:0]
 		for k := 0; k < numShards; k++ {
-			if s.shardTasks[k] > 0 {
+			if s.shardTasks[k].n > 0 {
 				shards = append(shards, k)
 			}
 		}
@@ -1231,7 +1297,7 @@ func (e *Engine) serviceShard(k int, _ *rng.RNG) {
 				e.markDirtyNeighborhood(v)
 			}
 			if completed := len(p.done) - before; completed > 0 {
-				s.shardTasks[k] -= int64(completed)
+				s.shardTasks[k].n -= int64(completed)
 				if s.queues[v].Len() == 0 {
 					s.occupied.clearBit(v)
 				}

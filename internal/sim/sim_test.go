@@ -425,11 +425,12 @@ func hotspotInitial(n, tasks int) [][]float64 {
 func TestParallelMatchesSequential(t *testing.T) {
 	run := func(workers int) ([]float64, Counters) {
 		e, _ := New(Config{
-			Graph:   topology.NewTorus(4, 4),
-			Policy:  greedyPolicy{},
-			Seed:    42,
-			Initial: hotspotInitial(16, 48),
-			Workers: workers,
+			Graph:         topology.NewTorus(4, 4),
+			Policy:        greedyPolicy{},
+			Seed:          42,
+			Initial:       hotspotInitial(16, 48),
+			Workers:       workers,
+			SerialCutover: -1, // small system: force the fused path
 		})
 		e.Run(150)
 		return e.State().Loads(), e.State().Counters()
@@ -614,7 +615,9 @@ func TestWorkerPoolPersistsAndCloses(t *testing.T) {
 	g := topology.NewTorus(4, 4)
 	init := make([][]float64, g.N())
 	init[0] = []float64{1, 1, 1, 1, 1, 1, 1, 1}
-	e, err := New(Config{Graph: g, Policy: greedyPolicy{}, Seed: 1, Initial: init, Workers: 4})
+	// SerialCutover -1 forces the fused path even for this small system, so
+	// the test exercises real publish/park traffic, not the inline cutover.
+	e, err := New(Config{Graph: g, Policy: greedyPolicy{}, Seed: 1, Initial: init, Workers: 4, SerialCutover: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -658,7 +661,7 @@ func buildDroppedEngine(t *testing.T, fired chan struct{}) {
 	g := topology.NewTorus(4, 4)
 	init := make([][]float64, g.N())
 	init[0] = []float64{1, 1, 1, 1}
-	e, err := New(Config{Graph: g, Policy: greedyPolicy{}, Seed: 1, Initial: init, Workers: 4})
+	e, err := New(Config{Graph: g, Policy: greedyPolicy{}, Seed: 1, Initial: init, Workers: 4, SerialCutover: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -667,12 +670,13 @@ func buildDroppedEngine(t *testing.T, fired chan struct{}) {
 }
 
 // A parallel engine dropped without Close must be reclaimable: no live
-// goroutine may keep it reachable (idle workers hold only inert job shells
-// between ticks). The engine's internal self-closures are fine — unlike the
-// old SetFinalizer scheme, runtime.AddCleanup tolerates reference cycles
-// through the object — but a worker retaining a populated fanJob would still
-// pin it, which is exactly what this test would catch. When the engine goes,
-// its own cleanup closes the pool; the probe cleanup reports the collection.
+// goroutine may keep it reachable (idle fused workers reference only the
+// pool, and fanOut nils the phase closure after every barrier). The engine's
+// internal self-closures are fine — unlike the old SetFinalizer scheme,
+// runtime.AddCleanup tolerates reference cycles through the object — but a
+// worker retaining a populated phaseDesc would still pin it, which is exactly
+// what this test would catch. When the engine goes, its own cleanup closes
+// the pool; the probe cleanup reports the collection.
 func TestDroppedParallelEngineIsFinalized(t *testing.T) {
 	fired := make(chan struct{})
 	buildDroppedEngine(t, fired)

@@ -452,7 +452,7 @@ func (e *Engine) restoreBody(r *snapReader) error {
 		}
 		s.queues[v].Restore(hbuf, total)
 		if ln := s.queues[v].Len(); ln > 0 {
-			s.shardTasks[s.nodeShard[v]] += int64(ln)
+			s.shardTasks[s.nodeShard[v]].n += int64(ln)
 			s.occupied.set(v)
 		}
 	}
@@ -555,6 +555,9 @@ func (e *Engine) restoreBody(r *snapReader) error {
 			return r.err
 		}
 		a.pendingMask.Store(a.recomputePendingMask())
+		// The cutover estimate restarts exact; it is scheduling-only state,
+		// so it is derived rather than encoded (like the mask above).
+		a.approxPending.Store(int64(a.pendingCount()))
 	}
 
 	if r.err != nil {

@@ -1,6 +1,10 @@
 package sim
 
-import "pplb/internal/taskmodel"
+import (
+	"unsafe"
+
+	"pplb/internal/taskmodel"
+)
 
 // numShards is the fixed shard count of the tick pipeline. Nodes are
 // partitioned into numShards contiguous ranges and every per-node mutation of
@@ -25,14 +29,25 @@ type transferRec struct {
 	moving    bool
 }
 
-// transferShard is a struct-of-arrays store of the transfers in flight
-// towards the nodes this shard owns. The parallel arrays replace the old
-// []*Transfer pointer shells + freelist: advancement walks flat int32/bool
-// lanes instead of chasing heap pointers, and compaction is an in-place
-// two-finger sweep with no per-transfer allocation at all. Since the arena
-// conversion the task lane holds store handles, so the whole shard is
-// pointer-free and invisible to the garbage collector.
-type transferShard struct {
+// shardCount is one per-shard counter on its own cache line. The resident
+// task counts are plain-written by whichever worker owns the shard during a
+// fan-out; without the padding, eight shards' counters share one line and
+// every queue add/remove on one shard invalidates the line under seven
+// neighbours (the classic false-sharing pattern a perf c2c run flags on
+// this array; BenchmarkShardCounterFalseSharing pins the fix).
+type shardCount struct {
+	n int64
+	_ [cacheLine - 8]byte
+}
+
+// transferShardData is the struct-of-arrays store of the transfers in
+// flight towards the nodes one shard owns. The parallel arrays replace the
+// old []*Transfer pointer shells + freelist: advancement walks flat
+// int32/bool lanes instead of chasing heap pointers, and compaction is an
+// in-place two-finger sweep with no per-transfer allocation at all. Since
+// the arena conversion the task lane holds store handles, so the whole
+// shard is pointer-free and invisible to the garbage collector.
+type transferShardData struct {
 	task      []taskmodel.Handle
 	from      []int32
 	to        []int32
@@ -40,6 +55,15 @@ type transferShard struct {
 	remaining []int32
 	bounce    []bool
 	moving    []bool
+}
+
+// transferShard pads the lane headers to a cache-line boundary: the shards
+// live in a [numShards] array and advancement mutates every header (append,
+// compact, truncate) concurrently across shards, so an unpadded array would
+// false-share headers at every shard boundary.
+type transferShard struct {
+	transferShardData
+	_ [(cacheLine - unsafe.Sizeof(transferShardData{})%cacheLine) % cacheLine]byte
 }
 
 func (t *transferShard) len() int { return len(t.task) }
@@ -90,12 +114,12 @@ type movingRec struct {
 	node int32
 }
 
-// shardPart is the per-shard per-tick scratch of the pipeline: outboxes of
-// transfers to hand to other shards, and partial reductions (counters,
+// shardPartData is the per-shard per-tick scratch of the pipeline: outboxes
+// of transfers to hand to other shards, and partial reductions (counters,
 // in-flight load delta, inertia arrivals, service completions) that the
 // engine folds into the global state in ascending shard order, so float sums
 // are bit-stable no matter which worker ran which shard.
-type shardPart struct {
+type shardPartData struct {
 	out       [numShards][]transferRec
 	outMask   uint32 // bit j set when out[j] is non-empty (numShards <= 32)
 	counters  Counters
@@ -115,4 +139,13 @@ type shardPart struct {
 	// only ever add integer zeros and +0.0 — so the flag is pure overhead
 	// control, never a determinism hazard, and may be set conservatively.
 	dirty bool
+}
+
+// shardPart pads the scratch to a cache-line boundary: the parts live in a
+// [numShards] array on the engine and every phase of a parallel tick
+// mutates them concurrently (counters, outbox appends, the dirty flag), so
+// the fields at shard boundaries must not share lines.
+type shardPart struct {
+	shardPartData
+	_ [(cacheLine - unsafe.Sizeof(shardPartData{})%cacheLine) % cacheLine]byte
 }

@@ -67,7 +67,11 @@ func TestLoadConservationInvariant(t *testing.T) {
 }
 
 // The parallel planner must be bit-identical to the sequential one: same
-// loads, same counters, tick for tick, over a long dynamic run.
+// loads, same counters, tick for tick, over a long dynamic run. Workers=3
+// rides along because it is the adversarial count for the fused loop's
+// shard claiming (odd, divides neither the 16 shards nor 8); the serial
+// cutover is disabled so the small system actually runs the fused path
+// instead of falling back to inline ticks.
 func TestWorkersBitIdentity500Ticks(t *testing.T) {
 	run := func(workers int) ([]float64, Counters) {
 		g := Torus(8, 8)
@@ -77,6 +81,7 @@ func TestWorkersBitIdentity500Ticks(t *testing.T) {
 			WithServiceRate(0.05),
 			WithSeed(2024),
 			WithWorkers(workers),
+			WithSerialCutover(-1),
 		)
 		if err != nil {
 			t.Fatal(err)
@@ -86,13 +91,15 @@ func TestWorkersBitIdentity500Ticks(t *testing.T) {
 		return sys.Loads(), sys.Counters()
 	}
 	seqLoads, seqC := run(1)
-	parLoads, parC := run(8)
-	if seqC != parC {
-		t.Fatalf("counters diverge:\nseq: %+v\npar: %+v", seqC, parC)
-	}
-	for v := range seqLoads {
-		if seqLoads[v] != parLoads[v] {
-			t.Fatalf("load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+	for _, w := range []int{3, 8} {
+		parLoads, parC := run(w)
+		if seqC != parC {
+			t.Fatalf("workers=%d counters diverge:\nseq: %+v\npar: %+v", w, seqC, parC)
+		}
+		for v := range seqLoads {
+			if seqLoads[v] != parLoads[v] {
+				t.Fatalf("workers=%d load at node %d diverges: seq=%v par=%v", w, v, seqLoads[v], parLoads[v])
+			}
 		}
 	}
 }
@@ -112,6 +119,7 @@ func TestLoadConservationFaultyParallel(t *testing.T) {
 			WithLinks(Links(g, WithUniformFault(0.15), WithUniformLength(2))),
 			WithSeed(7),
 			WithWorkers(workers),
+			WithSerialCutover(-1), // keep the fused advancement path exercised
 			WithObserver(func(s *State) {
 				c := s.Counters()
 				resident := 0.0
@@ -148,20 +156,31 @@ func TestLoadConservationFaultyParallel(t *testing.T) {
 	}
 }
 
-// The production-scale determinism pin: the Torus16384 bench scenario and
-// its Workers=1 twin must stay bit-identical (counters and every node load)
-// over a 500-tick run. This is the contract that lets BENCH_PR2.json compare
-// the two as measurements of the same computation.
+// The production-scale determinism pin: the Torus16384 workload must be
+// bit-identical (counters and every node load) over 500 ticks across
+// Workers ∈ {1, 3, 8} × {incremental, full-sweep} — six engines, one
+// answer. This is the contract that lets the BENCH_PR*.json worker sweeps
+// compare their entries as measurements of the same computation. The
+// incremental engines keep the default serial cutover, so they start fused
+// (every node pending) and drop to inline ticks as the system converges —
+// the flip itself is under test; the full-sweep engines estimate N work
+// units every tick and never leave the fused path.
 func TestTorus16384BitIdentity500Ticks(t *testing.T) {
 	if testing.Short() {
-		t.Skip("16k-node 500-tick run is too slow for -short")
+		t.Skip("16k-node 500-tick runs are too slow for -short")
 	}
-	run := func(name string) ([]float64, Counters) {
-		sc := tickBenchScenario(name)
-		if sc == nil {
-			t.Fatalf("scenario %q missing", name)
+	run := func(workers int, fullSweep bool) ([]float64, Counters) {
+		g := Torus(128, 128)
+		opts := []Option{
+			WithInitial(UniformRandomLoad(g.N(), 4*g.N(), 0.5, 3)),
+			WithSeed(1),
+			WithWorkers(workers),
+			WithMetricsEvery(1 << 30),
 		}
-		sys, err := sc.New()
+		if fullSweep {
+			opts = append(opts, WithFullSweep())
+		}
+		sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()), opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,14 +188,23 @@ func TestTorus16384BitIdentity500Ticks(t *testing.T) {
 		sys.Run(500)
 		return sys.Loads(), sys.Counters()
 	}
-	parLoads, parC := run("TickPPLBTorus16384")
-	seqLoads, seqC := run("TickPPLBTorus16384W1")
-	if seqC != parC {
-		t.Fatalf("counters diverge at 16384 nodes:\nseq: %+v\npar: %+v", seqC, parC)
-	}
-	for v := range seqLoads {
-		if seqLoads[v] != parLoads[v] {
-			t.Fatalf("load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+	refLoads, refC := run(1, false)
+	for _, w := range []int{1, 3, 8} {
+		for _, fullSweep := range []bool{false, true} {
+			if w == 1 && !fullSweep {
+				continue // the reference itself
+			}
+			loads, c := run(w, fullSweep)
+			if c != refC {
+				t.Fatalf("workers=%d fullsweep=%t counters diverge at 16384 nodes:\nref: %+v\ngot: %+v",
+					w, fullSweep, refC, c)
+			}
+			for v := range refLoads {
+				if loads[v] != refLoads[v] {
+					t.Fatalf("workers=%d fullsweep=%t load at node %d diverges: ref=%v got=%v",
+						w, fullSweep, v, refLoads[v], loads[v])
+				}
+			}
 		}
 	}
 }
@@ -186,8 +214,10 @@ func TestTorus16384BitIdentity500Ticks(t *testing.T) {
 // paths) × batched arrivals (bursts above the engine's fan-out threshold,
 // so Workers=8 takes the sharded injection path while Workers=1 injects
 // inline) on the cube-connected-cycles network. Conservation must hold at
-// every tick and the Workers=8 run must stay bit-identical to its
-// Workers=1 twin.
+// every tick and the Workers ∈ {3, 8} runs must stay bit-identical to
+// their Workers=1 twin. The cutover is disabled: at 24 nodes the adaptive
+// threshold would run everything inline, and the point here is the sharded
+// injection path, which only parallel-path ticks take.
 func TestHeteroFaultyBurstCCCIdentity(t *testing.T) {
 	g := CCC(3) // 24 nodes, degree 3 — the bounded-degree hypercube substitute
 	n := g.N()
@@ -206,6 +236,7 @@ func TestHeteroFaultyBurstCCCIdentity(t *testing.T) {
 			WithLinks(Links(g, WithUniformFault(0.1))),
 			WithSeed(31),
 			WithWorkers(workers),
+			WithSerialCutover(-1),
 			WithObserver(func(s *State) {
 				c := s.Counters()
 				resident := 0.0
@@ -235,13 +266,15 @@ func TestHeteroFaultyBurstCCCIdentity(t *testing.T) {
 		return sys.Loads(), c
 	}
 	seqLoads, seqC := run(1)
-	parLoads, parC := run(8)
-	if seqC != parC {
-		t.Fatalf("counters diverge:\nseq: %+v\npar: %+v", seqC, parC)
-	}
-	for v := range seqLoads {
-		if seqLoads[v] != parLoads[v] {
-			t.Fatalf("load at node %d diverges: seq=%v par=%v", v, seqLoads[v], parLoads[v])
+	for _, w := range []int{3, 8} {
+		parLoads, parC := run(w)
+		if seqC != parC {
+			t.Fatalf("workers=%d counters diverge:\nseq: %+v\npar: %+v", w, seqC, parC)
+		}
+		for v := range seqLoads {
+			if seqLoads[v] != parLoads[v] {
+				t.Fatalf("workers=%d load at node %d diverges: seq=%v par=%v", w, v, seqLoads[v], parLoads[v])
+			}
 		}
 	}
 }
