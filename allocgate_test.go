@@ -34,6 +34,11 @@ var allocGateScenarios = []string{
 	"TickPPLBTorus16384W1",
 	"TickSteadyStateTorus16384",
 	"TickSteadyStateTorus16384FullSweep",
+	// A reconfigured history must leave no allocation residue: once churn
+	// stops, steady-state ticks on the post-churn topology are as alloc-free
+	// as on a never-reconfigured engine (Reconfigure itself allocates — it
+	// regrows per-node state — but that cost stays off the tick path).
+	"TickSteadyStateTorus16384PostChurn",
 }
 
 func TestSteadyStateTickZeroAllocs(t *testing.T) {

@@ -81,9 +81,15 @@ func benchTickScenario(b *testing.B, name string) {
 		b.Fatal(err)
 	}
 	defer sys.Close()
+	step := func(int) error { sys.Step(); return nil }
+	if sc.NewTick != nil {
+		step = sc.NewTick(sys)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys.Step()
+		if err := step(i); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -140,6 +146,22 @@ func BenchmarkTickSteadyStateTorus16384(b *testing.B) {
 // (target: ≥10x).
 func BenchmarkTickSteadyStateTorus16384FullSweep(b *testing.B) {
 	benchTickScenario(b, "TickSteadyStateTorus16384FullSweep")
+}
+
+// BenchmarkTickPPLBChurnTorus16384 measures the amortised tick under
+// sustained topology churn: every 50th iteration applies one committed
+// reconfiguration (node leave, node join, or link fail/repair) before
+// stepping. The delta against BenchmarkTickPPLBTorus16384 is the cost of
+// dynamic topology support under churn.
+func BenchmarkTickPPLBChurnTorus16384(b *testing.B) {
+	benchTickScenario(b, "TickPPLBChurnTorus16384")
+}
+
+// BenchmarkTickSteadyStateTorus16384PostChurn measures the churn-free steady
+// tick of an engine that has lived through reconfigurations — it must match
+// the never-reconfigured steady tick (and stays in the 0 allocs/op gate).
+func BenchmarkTickSteadyStateTorus16384PostChurn(b *testing.B) {
+	benchTickScenario(b, "TickSteadyStateTorus16384PostChurn")
 }
 
 // BenchmarkTickPPLBSparse1M measures one tick on a 1,048,576-node torus with

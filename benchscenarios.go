@@ -8,6 +8,12 @@ type TickBenchScenario struct {
 	Name string
 	// New builds the system and advances it to the measured steady state.
 	New func() (*System, error)
+	// NewTick, when non-nil, returns the per-iteration step function for a
+	// freshly built system, replacing the plain sys.Step() loop. Scenarios
+	// with per-iteration work beyond a tick — the churn scenario interleaves
+	// topology reconfigurations with stepping — use it; i is the benchmark
+	// iteration index.
+	NewTick func(sys *System) func(i int) error
 }
 
 func tickScenario(name string, mkGraph func() *Graph, mkPolicy func() Policy, tasks, warm int, extra ...Option) TickBenchScenario {
@@ -85,6 +91,112 @@ func steadyStateScenario(name string, warm int, fullSweep bool) TickBenchScenari
 	}
 }
 
+// churnScenario measures the tick pipeline under sustained topology churn:
+// the dense Torus16384 workload where every churnPeriod-th iteration first
+// applies one staged reconfiguration — cycling node departure, node join
+// (wired in with three links) and link fail/repair on a fixed edge — before
+// stepping. The measured number is therefore the amortised cost of a tick
+// in a churning system: mostly ordinary ticks, plus the periodic
+// Reconfigure (drain, recall, regrow, reindex) folded in. Compare against
+// TickPPLBTorus16384 to read the churn overhead.
+func churnScenario(name string, workers int) TickBenchScenario {
+	const churnPeriod = 50
+	return TickBenchScenario{
+		Name: name,
+		New: func() (*System, error) {
+			g := Torus(128, 128)
+			sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+				WithInitial(UniformRandomLoad(g.N(), 4*g.N(), 0.5, 3)),
+				WithSeed(1),
+				WithWorkers(workers),
+				WithMetricsEvery(1<<30),
+			)
+			if err != nil {
+				return nil, err
+			}
+			sys.Run(10)
+			return sys, nil
+		},
+		NewTick: func(sys *System) func(i int) error {
+			d := NewDynamic(Torus(128, 128))
+			op := 0        // cycles leave / join / link-fault
+			victim := 1000 // next departure candidate (stride co-prime to N)
+			failed := false
+			return func(i int) error {
+				if i > 0 && i%churnPeriod == 0 {
+					switch op % 3 {
+					case 0: // a node departs; the engine drains its queue
+						for !d.Alive(victim) || victim <= 1 || victim == 128 || victim == 8192 || victim == 16383 {
+							victim = (victim + 997) % 16384
+						}
+						d.Leave(victim)
+						victim = (victim + 997) % 16384
+					case 1: // a replacement joins, wired in with three links
+						v := d.Join(Point2{X: float64(op), Y: -1})
+						d.AddLink(v, 0)
+						d.AddLink(v, 8192)
+						d.AddLink(v, 16383)
+					case 2: // link fault churn on a fixed edge
+						if failed {
+							d.RepairLink(0, 1)
+						} else {
+							d.FailLink(0, 1)
+						}
+						failed = !failed
+					}
+					op++
+					if err := sys.ReconfigureFrom(d); err != nil {
+						return err
+					}
+				}
+				sys.Step()
+				return nil
+			}
+		},
+	}
+}
+
+// postChurnSteadyScenario pins that reconfiguration leaves no residue on the
+// hot path: the steady-state Torus16384 system lives through a short
+// join/leave/link-fault schedule during warm-up, re-converges, and the
+// measured loop is then ordinary churn-free ticks. Those must cost what
+// they cost on a never-reconfigured engine — the allocation gate holds this
+// scenario to the same 0 allocs/op as its churn-free twin.
+func postChurnSteadyScenario(name string, warm int) TickBenchScenario {
+	return TickBenchScenario{
+		Name: name,
+		New: func() (*System, error) {
+			g := Torus(128, 128)
+			sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()),
+				WithInitial(UniformRandomLoad(g.N(), 4*g.N(), 0.5, 3)),
+				WithSeed(1),
+				WithWorkers(8),
+				WithMetricsEvery(1<<30),
+			)
+			if err != nil {
+				return nil, err
+			}
+			d := NewDynamic(g)
+			sys.Run(warm / 4)
+			d.Leave(4097)
+			d.FailLink(0, 1)
+			if err := sys.ReconfigureFrom(d); err != nil {
+				return nil, err
+			}
+			sys.Run(warm / 4)
+			v := d.Join(Point2{X: 5, Y: 5})
+			d.AddLink(v, 0)
+			d.AddLink(v, 128)
+			d.RepairLink(0, 1)
+			if err := sys.ReconfigureFrom(d); err != nil {
+				return nil, err
+			}
+			sys.Run(warm / 2)
+			return sys, nil
+		},
+	}
+}
+
 // sparse1MScenario is the scale scenario the active set opens: a
 // 1024x1024 torus (1,048,576 nodes, 2,097,152 links) where load lives in 64
 // hotspots, so only the spreading front around each hotspot — a few percent
@@ -142,6 +254,11 @@ func TickBenchScenarios() []TickBenchScenario {
 		// between the two is the O(changed)-vs-O(N) headline.
 		steadyStateScenario("TickSteadyStateTorus16384", 400, false),
 		steadyStateScenario("TickSteadyStateTorus16384FullSweep", 400, true),
+		// The dynamic-topology pair (PR 10): amortised tick cost under
+		// periodic join/leave/link churn, and the churn-free steady tick
+		// after a reconfigured history (pinned to 0 allocs/op by the gate).
+		churnScenario("TickPPLBChurnTorus16384", 8),
+		postChurnSteadyScenario("TickSteadyStateTorus16384PostChurn", 400),
 		sparse1MScenario("TickPPLBSparse1M", 8),
 		sparse1MScenario("TickPPLBSparse1MW1", 1),
 		sparse1MScenario("TickPPLBSparse1MW2", 2),

@@ -1,0 +1,202 @@
+package pplb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// churnSchedule16384 is the scripted reconfiguration schedule of the
+// production-scale churn pin: two departures and a link failure early, a
+// replacement join plus the repair mid-run, and a permanent link removal
+// late. Events are committed once and shared by every engine under test —
+// the committed graphs and link parameters are immutable at run time.
+type churnEvent struct {
+	tick int
+	rc   Reconfig
+}
+
+func churnSchedule16384() []churnEvent {
+	d := NewDynamic(Torus(128, 128))
+	commit := func(tick int) churnEvent {
+		g, epoch := d.Commit()
+		return churnEvent{tick: tick, rc: Reconfig{
+			Graph: g, Links: Links(g), Epoch: epoch, Dead: d.DeadNodes(),
+		}}
+	}
+	d.Leave(4097)
+	d.Leave(12000)
+	d.FailLink(0, 1)
+	ev1 := commit(100)
+	nv := d.Join(Point2{X: 5, Y: 5})
+	d.AddLink(nv, 0)
+	d.AddLink(nv, 128)
+	d.AddLink(nv, 8192)
+	d.RepairLink(0, 1)
+	ev2 := commit(200)
+	d.RemoveLink(64, 65)
+	ev3 := commit(350)
+	return []churnEvent{ev1, ev2, ev3}
+}
+
+// newChurnPinSystem builds one engine of the churn pin: the Torus16384
+// bench workload (uniform random load, seed 1) at the given worker count
+// and planning mode.
+func newChurnPinSystem(t *testing.T, workers int, fullSweep bool) *System {
+	t.Helper()
+	g := Torus(128, 128)
+	opts := []Option{
+		WithInitial(UniformRandomLoad(g.N(), 4*g.N(), 0.5, 3)),
+		WithSeed(1),
+		WithWorkers(workers),
+		WithMetricsEvery(1 << 30),
+	}
+	if fullSweep {
+		opts = append(opts, WithFullSweep())
+	}
+	sys, err := NewSystem(g, NewBalancer(DefaultBalancerConfig()), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestTorus16384Churn500Ticks is the dynamic-topology identity pin at
+// production scale: four engines — Workers ∈ {1, 8} crossed with
+// incremental and full-sweep planning — run the Torus16384 workload for 500
+// ticks through a scripted join/leave/link-churn schedule. Within each
+// planning mode the worker pair must stay byte-identical (snapshots
+// compared at every epoch boundary and at the end); across modes the
+// counters, epochs and per-node loads must agree. This extends the static
+// 500-tick pins to runs whose topology changes mid-flight.
+func TestTorus16384Churn500Ticks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-node 500-tick churn run is too slow for -short")
+	}
+	schedule := churnSchedule16384()
+	inc := []*System{newChurnPinSystem(t, 1, false), newChurnPinSystem(t, 8, false)}
+	sweep := []*System{newChurnPinSystem(t, 1, true), newChurnPinSystem(t, 8, true)}
+	all := append(append([]*System{}, inc...), sweep...)
+	defer func() {
+		for _, s := range all {
+			s.Close()
+		}
+	}()
+
+	snap := func(s *System) []byte {
+		b, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	comparePair := func(label string, pair []*System, tick int) {
+		if a, b := snap(pair[0]), snap(pair[1]); !bytes.Equal(a, b) {
+			t.Fatalf("tick %d: %s W1 and W8 snapshots differ (%d vs %d bytes)", tick, label, len(a), len(b))
+		}
+	}
+	for tick := 1; tick <= 500; tick++ {
+		for _, ev := range schedule {
+			if ev.tick != tick {
+				continue
+			}
+			for _, s := range all {
+				if err := s.Reconfigure(ev.rc); err != nil {
+					t.Fatalf("tick %d: reconfigure: %v", tick, err)
+				}
+			}
+		}
+		for _, s := range all {
+			s.Step()
+		}
+		boundary := false
+		for _, ev := range schedule {
+			boundary = boundary || ev.tick == tick
+		}
+		if boundary || tick == 500 {
+			comparePair("incremental", inc, tick)
+			comparePair("full-sweep", sweep, tick)
+			if ic, sc := inc[1].Counters(), sweep[1].Counters(); ic != sc {
+				t.Fatalf("tick %d: incremental vs full-sweep counters diverge:\nincremental: %+v\nfull-sweep:  %+v", tick, ic, sc)
+			}
+		}
+	}
+	if got := inc[0].Epoch(); got != 3 {
+		t.Fatalf("final epoch %d, want 3", got)
+	}
+	c := inc[0].Counters()
+	if c.Reconfigs != 3 || c.DrainedTasks == 0 {
+		t.Fatalf("churn never bit: %+v", c)
+	}
+	il, sl := inc[1].Loads(), sweep[0].Loads()
+	for v := range il {
+		if il[v] != sl[v] {
+			t.Fatalf("load at node %d diverges across planning modes: %v vs %v", v, il[v], sl[v])
+		}
+	}
+}
+
+// TestTorus16384ChurnSnapshotResume pins snapshot resume across an epoch
+// boundary at production scale: the W8 engine is snapshotted at tick 250 —
+// after two reconfigurations, with a node joined and two departed — and
+// restored at Workers=1 against the epoch-2 graph. Both engines then cross
+// the third epoch boundary and run to tick 500, where they must produce
+// byte-identical snapshots. Restoring against the original (epoch-0)
+// topology must fail the structural fingerprint check loudly.
+func TestTorus16384ChurnSnapshotResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-node churn resume run is too slow for -short")
+	}
+	schedule := churnSchedule16384()
+	primary := newChurnPinSystem(t, 8, false)
+	defer primary.Close()
+
+	runThrough := func(s *System, from, to int) {
+		for tick := from; tick <= to; tick++ {
+			for _, ev := range schedule {
+				if ev.tick == tick {
+					if err := s.Reconfigure(ev.rc); err != nil {
+						t.Fatalf("tick %d: reconfigure: %v", tick, err)
+					}
+				}
+			}
+			s.Step()
+		}
+	}
+	runThrough(primary, 1, 250)
+	if got := primary.Epoch(); got != 2 {
+		t.Fatalf("epoch at snapshot tick = %d, want 2", got)
+	}
+	snap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RestoreSystem(Torus(128, 128), NewBalancer(DefaultBalancerConfig()), snap,
+		WithSeed(1), WithWorkers(1), WithMetricsEvery(1<<30)); err == nil {
+		t.Fatal("restore against the pre-churn topology must fail")
+	}
+	cur := schedule[1].rc // epoch 2: the topology in effect at tick 250
+	resumed, err := RestoreSystem(cur.Graph, NewBalancer(DefaultBalancerConfig()), snap,
+		WithSeed(1), WithWorkers(1), WithLinks(cur.Links), WithMetricsEvery(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+
+	runThrough(primary, 251, 500)
+	runThrough(resumed, 251, 500)
+	if pc, rc := primary.Counters(), resumed.Counters(); pc != rc {
+		t.Fatalf("counters diverge after cross-epoch resume:\nprimary: %+v\nresumed: %+v", pc, rc)
+	}
+	a, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := resumed.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("final snapshots differ (%d vs %d bytes) after resuming across an epoch boundary", len(a), len(b))
+	}
+}

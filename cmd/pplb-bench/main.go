@@ -43,7 +43,7 @@ import (
 // runner) can be discounted instead of read as a regression — the parallel
 // scenarios scale with both.
 type benchRecord struct {
-	Schema     string           `json:"schema"` // "pplb-bench/5"
+	Schema     string           `json:"schema"` // "pplb-bench/6"
 	GoVersion  string           `json:"go_version"`
 	GOOS       string           `json:"goos"`
 	GOARCH     string           `json:"goarch"`
@@ -52,7 +52,7 @@ type benchRecord struct {
 	Baseline   string           `json:"baseline,omitempty"` // BENCH_*.json the deltas compare against
 	Benchmarks []benchmarkEntry `json:"benchmarks"`
 
-	// ParallelSweeps (schema pplb-bench/5) summarises the worker-count scans
+	// ParallelSweeps (since schema pplb-bench/5) summarises the worker-count scans
 	// of pplb.ParallelSweeps into per-count ns/op and the headline W8-vs-W1
 	// ratio. The numbers are only meaningful on a host whose GOMAXPROCS
 	// covers the swept counts — a single-core machine measures fused dispatch
@@ -86,6 +86,12 @@ type benchmarkEntry struct {
 	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
 	GCCycles       uint32 `json:"gc_cycles"`
 	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+
+	// TopologyEpochs (schema pplb-bench/6) is the topology epoch the system
+	// reached when the measurement finished: 0 for static scenarios, >0 for
+	// churn scenarios, where it records how many reconfigurations the
+	// benchmark loop amortised into its ns/op.
+	TopologyEpochs int64 `json:"topology_epochs,omitempty"`
 
 	// DeltaNsPct is the percentage change of ns/op against the baseline
 	// trajectory record ("after" values), negative = faster. Omitted when
@@ -167,7 +173,7 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 	// truncated) output as its own baseline nor destroy an existing record
 	// on the error path.
 	rec := benchRecord{
-		Schema:     "pplb-bench/5",
+		Schema:     "pplb-bench/6",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -216,17 +222,31 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 			os.Remove(path) // don't leave a truncated record behind
 			return fmt.Errorf("%s: %w", bm.Name, err)
 		}
+		step := func(int) error { sys.Step(); return nil }
+		if bm.NewTick != nil {
+			step = bm.NewTick(sys)
+		}
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
+		var stepErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sys.Step()
+				if err := step(i); err != nil {
+					stepErr = err
+					b.FailNow()
+				}
 			}
 		})
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
+		epochs := sys.Epoch()
 		sys.Close()
+		if stepErr != nil {
+			f.Close()
+			os.Remove(path)
+			return fmt.Errorf("%s: %w", bm.Name, stepErr)
+		}
 		name := "Benchmark" + bm.Name
 		entry := benchmarkEntry{
 			Name:           name,
@@ -237,6 +257,7 @@ func runBenchJSON(path, baseline string, scenarios []pplb.TickBenchScenario, std
 			HeapInuseBytes: after.HeapInuse,
 			GCCycles:       after.NumGC - before.NumGC,
 			GCPauseTotalNs: after.PauseTotalNs - before.PauseTotalNs,
+			TopologyEpochs: epochs,
 		}
 		delta := ""
 		if prev, ok := base[name]; ok {

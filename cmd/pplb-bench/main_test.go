@@ -119,7 +119,7 @@ func TestBenchJSONDelta(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Schema != "pplb-bench/5" {
+	if rec.Schema != "pplb-bench/6" {
 		t.Fatalf("schema %q", rec.Schema)
 	}
 	if len(rec.ParallelSweeps) != 0 {

@@ -55,6 +55,10 @@ type Tweaks struct {
 	// it consumes no randomness, so churn variants of the pinned corpus
 	// replay the corpus's own draws.
 	Churn bool `json:"churn,omitempty"`
+	// NoChurn removes the generated topology-churn schedule (node
+	// join/leave and link add/remove/fail/repair events): the scenario
+	// keeps its initial topology for the whole run.
+	NoChurn bool `json:"no_churn,omitempty"`
 }
 
 // Spec identifies one scenario exactly: the generator seed plus the
@@ -88,7 +92,24 @@ func (s Spec) String() string {
 	if tw.Churn {
 		out += " churn"
 	}
+	if tw.NoChurn {
+		out += " nochurn"
+	}
 	return out
+}
+
+// ChurnEvent is one scheduled topology reconfiguration of a scenario: the
+// committed successor graph with its link parameters, applied to every
+// lockstep engine immediately before the event tick's step. The Reconfig's
+// policy instance is built per engine at apply time (policies may capture
+// the graph), which is why the event stores the pieces instead of a
+// sim.Reconfig.
+type ChurnEvent struct {
+	Tick  int64
+	Graph *topology.Graph
+	Links *linkmodel.Params
+	Epoch int64
+	Dead  []int
 }
 
 // Scenario is a fully expanded Spec: everything needed to build the primary
@@ -108,8 +129,15 @@ type Scenario struct {
 	CheckEvery  int
 	Workers     int
 	PolicyName  string
-	NewPolicy   func() sim.Policy // fresh instance per engine (policies hold state)
-	EngineSeed  uint64
+	// NewPolicy builds a fresh instance per engine (policies hold state)
+	// against the given graph — under churn, policies that capture the
+	// topology (e.g. dimension exchange's edge coloring) are rebuilt for
+	// each event's committed graph.
+	NewPolicy func(g *topology.Graph) sim.Policy
+	// Churn is the scripted reconfiguration schedule, ascending by tick
+	// (empty when the scenario drew none or the NoChurn tweak is set).
+	Churn      []ChurnEvent
+	EngineSeed uint64
 	// Fingerprint folds in every generated dimension but NOT the spec that
 	// produced it, so two specs expanding to the same scenario (e.g. a
 	// NoFaults tweak on a scenario that drew no faults) compare equal —
@@ -127,20 +155,53 @@ type Scenario struct {
 // under the invariant suite (the sweep twin re-enables the adaptive cutover
 // so the inline↔fused flipping gets covered too).
 func (sc *Scenario) Config(workers int) sim.Config {
+	return sc.ConfigAt(workers, sc.Graph, sc.Links)
+}
+
+// ConfigAt assembles the sim configuration against an explicit topology —
+// the graph and links current at some point of the churn schedule — so a
+// snapshot taken after a reconfiguration can be restored (sim.Restore
+// validates the config's graph against the snapshot's structural
+// fingerprint). Speeds and the initial distribution are padded to the
+// grown id space exactly as Reconfigure pads them.
+func (sc *Scenario) ConfigAt(workers int, g *topology.Graph, links *linkmodel.Params) sim.Config {
+	speeds := sc.Speeds
+	if speeds != nil && len(speeds) < g.N() {
+		speeds = append(append(make([]float64, 0, g.N()), speeds...), make([]float64, g.N()-len(speeds))...)
+		for v := len(sc.Speeds); v < g.N(); v++ {
+			speeds[v] = 1
+		}
+	}
+	initial := sc.Initial
+	if len(initial) < g.N() {
+		initial = append(append(make([][]float64, 0, g.N()), initial...), make([][]float64, g.N()-len(initial))...)
+	}
 	return sim.Config{
-		Graph:         sc.Graph,
-		Links:         sc.Links,
-		Policy:        sc.NewPolicy(),
+		Graph:         g,
+		Links:         links,
+		Policy:        sc.NewPolicy(g),
 		Seed:          sc.EngineSeed,
-		Initial:       sc.Initial,
+		Initial:       initial,
 		TaskGraph:     sc.TaskGraph,
 		Resources:     sc.Resources,
 		Arrivals:      sc.Arrivals,
 		ServiceRate:   sc.ServiceRate,
-		Speeds:        sc.Speeds,
+		Speeds:        speeds,
 		Workers:       workers,
 		SerialCutover: -1,
 	}
+}
+
+// TopologyAt returns the graph and links in effect after every churn event
+// at or before tick — what a restored engine must be configured with.
+func (sc *Scenario) TopologyAt(tick int64) (*topology.Graph, *linkmodel.Params) {
+	g, links := sc.Graph, sc.Links
+	for _, ev := range sc.Churn {
+		if ev.Tick <= tick {
+			g, links = ev.Graph, ev.Links
+		}
+	}
+	return g, links
 }
 
 // Families lists the topology families the generator draws from.
@@ -189,6 +250,7 @@ const (
 	labelArrivals
 	labelPolicy
 	labelMisc
+	labelChurn // dynamic-topology dimension: moving-hotspot walk + churn schedule
 )
 
 // Generate expands a spec into a scenario, deterministically.
@@ -201,6 +263,7 @@ func Generate(spec Spec) *Scenario {
 	rArr := base.Split(labelArrivals)
 	rPolicy := base.Split(labelPolicy)
 	rMisc := base.Split(labelMisc)
+	rChurn := base.Split(labelChurn)
 
 	sc := &Scenario{Spec: spec, Workers: 8}
 
@@ -298,6 +361,12 @@ func Generate(spec Spec) *Scenario {
 	burstSize := rArr.IntBetween(32, 128)
 	burstLoad := rArr.Range(0.2, 0.8)
 	hotNode, hotRate, hotLoad := rArr.Intn(n), rArr.Range(0.5, 3), rArr.Range(0.2, 0.8)
+	// The moving-hotspot upgrade draws from the churn stream, so adding the
+	// dynamic-topology dimension left every pre-existing arrival draw (and
+	// therefore every pinned corpus fingerprint) untouched.
+	movingUp := rChurn.Bernoulli(0.5)
+	walkSeed := rChurn.Uint64()
+	movePeriod := int64(rChurn.IntBetween(2, 8))
 	arrDesc := "none"
 	if !spec.Tweaks.NoArrivals {
 		switch arrKind {
@@ -308,8 +377,13 @@ func Generate(spec Spec) *Scenario {
 			sc.Arrivals = workload.BurstArrivals(burstPeriod, burstSize, burstLoad, n)
 			arrDesc = fmt.Sprintf("burst %d/%dt", burstSize, burstPeriod)
 		case 3:
-			sc.Arrivals = workload.HotspotArrivals(hotNode, hotRate, hotLoad)
-			arrDesc = "hotspot"
+			if movingUp {
+				sc.Arrivals = workload.MovingHotspotArrivals(sc.Graph, hotNode, hotRate, hotLoad, movePeriod, walkSeed)
+				arrDesc = fmt.Sprintf("moving-hotspot /%dt", movePeriod)
+			} else {
+				sc.Arrivals = workload.HotspotArrivals(hotNode, hotRate, hotLoad)
+				arrDesc = "hotspot"
+			}
 		}
 	}
 	if rArr.Bernoulli(0.5) {
@@ -327,7 +401,8 @@ func Generate(spec Spec) *Scenario {
 
 	// Policy: mostly PPLB (default and perturbed-constant variants), the
 	// rest spread over the baselines — invariants must hold for all of them.
-	g := sc.Graph
+	// Constructors take the graph so churn events can rebuild
+	// graph-capturing policies against each committed topology.
 	kind := rPolicy.Pick([]float64{40, 15, 10, 10, 10, 10, 10, 5})
 	pplbCfg := core.DefaultConfig()
 	if kind == 1 {
@@ -346,41 +421,133 @@ func Generate(spec Spec) *Scenario {
 	switch kind {
 	case 0:
 		sc.PolicyName = "pplb"
-		sc.NewPolicy = func() sim.Policy { return core.New(core.DefaultConfig()) }
+		sc.NewPolicy = func(*topology.Graph) sim.Policy { return core.New(core.DefaultConfig()) }
 	case 1:
 		sc.PolicyName = "pplb-perturbed"
-		sc.NewPolicy = func() sim.Policy { return core.New(pplbCfg) }
+		sc.NewPolicy = func(*topology.Graph) sim.Policy { return core.New(pplbCfg) }
 	case 2:
 		sc.PolicyName = "diffusion"
-		sc.NewPolicy = func() sim.Policy { return baselines.Diffusion{Alpha: diffAlpha} }
+		sc.NewPolicy = func(*topology.Graph) sim.Policy { return baselines.Diffusion{Alpha: diffAlpha} }
 	case 3:
 		sc.PolicyName = "dimexchange"
-		sc.NewPolicy = func() sim.Policy { return baselines.NewDimensionExchange(g) }
+		sc.NewPolicy = func(g *topology.Graph) sim.Policy { return baselines.NewDimensionExchange(g) }
 	case 4:
 		sc.PolicyName = "gm"
-		sc.NewPolicy = func() sim.Policy { return &baselines.GradientModel{} }
+		sc.NewPolicy = func(*topology.Graph) sim.Policy { return &baselines.GradientModel{} }
 	case 5:
 		sc.PolicyName = "cwn"
-		sc.NewPolicy = func() sim.Policy { return baselines.CWN{} }
+		sc.NewPolicy = func(*topology.Graph) sim.Policy { return baselines.CWN{} }
 	case 6:
 		sc.PolicyName = "random"
-		sc.NewPolicy = func() sim.Policy { return &baselines.RandomSender{} }
+		sc.NewPolicy = func(*topology.Graph) sim.Policy { return &baselines.RandomSender{} }
 	case 7:
 		sc.PolicyName = "none"
-		sc.NewPolicy = func() sim.Policy { return baselines.None{} }
+		sc.NewPolicy = func(*topology.Graph) sim.Policy { return baselines.None{} }
 	}
 
 	// Run shape.
-	sc.Ticks = rMisc.IntBetween(40, 120)
+	genTicks := rMisc.IntBetween(40, 120)
+	sc.Ticks = genTicks
 	if spec.Tweaks.Ticks > 0 {
 		sc.Ticks = spec.Tweaks.Ticks
 	}
 	sc.CheckEvery = rMisc.IntBetween(1, 5)
 	sc.EngineSeed = rMisc.Uint64()
 
-	sc.Fingerprint = fmt.Sprintf("%s(%d nodes) policy=%s load=%s arrivals=%s faults=%s service=%.3f hetero=%t ticks=%d check=%d",
+	// Topology churn: roughly a third of scenarios reconfigure mid-run —
+	// 1–3 events of 1–3 operations each (join, leave, link fail/remove/
+	// repair), committed through a topology.Dynamic so every event carries a
+	// complete successor graph. Event ticks are placed against the GENERATED
+	// tick budget, so a Ticks tweak shrinks the run without re-rolling the
+	// schedule (events past the shrunk end simply never fire). The whole
+	// dimension draws from its own stream and the schedule is generated
+	// unconditionally — NoChurn only withholds it from the scenario.
+	churn := generateChurn(rChurn, sc.Graph, int64(genTicks), linkOpts)
+	if !spec.Tweaks.NoChurn {
+		sc.Churn = churn
+	}
+
+	sc.Fingerprint = fmt.Sprintf("%s(%d nodes) policy=%s load=%s arrivals=%s faults=%s service=%.3f hetero=%t churn=%d ticks=%d check=%d",
 		sc.Graph.Name(), n, sc.PolicyName, loadKind, arrDesc, faultDesc,
-		sc.ServiceRate, sc.Speeds != nil, sc.Ticks, sc.CheckEvery)
+		sc.ServiceRate, sc.Speeds != nil, len(sc.Churn), sc.Ticks, sc.CheckEvery)
 	sc.Desc = fmt.Sprintf("%s [%s]", sc.Fingerprint, spec)
 	return sc
+}
+
+// generateChurn draws a scenario's reconfiguration schedule from the churn
+// stream: possibly empty, else 1–3 ascending-tick events, each a batch of
+// 1–3 staged operations committed at once. Operations are drawn against the
+// evolving Dynamic, so later events see earlier events' topology; draws that
+// would be illegal (leaving too many nodes, failing a link when none is up)
+// degrade to no-ops rather than re-rolling, keeping the draw sequence a pure
+// function of the evolving graph.
+func generateChurn(r *rng.RNG, g0 *topology.Graph, ticks int64, linkOpts []linkmodel.Option) []ChurnEvent {
+	churnOn := r.Bernoulli(0.35)
+	numEvents := r.IntBetween(1, 3)
+	if !churnOn || ticks < 8 {
+		return nil
+	}
+	d := topology.NewDynamic(g0)
+	// Never shrink below half the original nodes: the scenario's workload
+	// was sized for the full machine and drains need somewhere to land.
+	minAlive := g0.N()/2 + 1
+	var events []ChurnEvent
+	tick := int64(1)
+	for i := 0; i < numEvents; i++ {
+		tick += int64(r.IntBetween(2, int(ticks)/(numEvents+1)+2))
+		if tick >= ticks {
+			break
+		}
+		for ops := r.IntBetween(1, 3); ops > 0; ops-- {
+			switch r.Pick([]float64{20, 25, 20, 20, 15}) {
+			case 0: // join, wired to 1–3 alive nodes
+				alive := aliveNodes(d)
+				nv := d.Join(topology.Point2{X: r.Range(0, 8), Y: r.Range(0, 8)})
+				for l := r.IntBetween(1, 3); l > 0; l-- {
+					d.AddLink(nv, alive[r.Intn(len(alive))])
+				}
+			case 1: // leave (only while comfortably above the floor)
+				if alive := aliveNodes(d); len(alive) > minAlive {
+					d.Leave(alive[r.Intn(len(alive))])
+				}
+			case 2: // fail a link of the last committed graph
+				if edges := d.Graph().Edges(); len(edges) > 0 {
+					ed := edges[r.Intn(len(edges))]
+					d.FailLink(ed.U, ed.V)
+				}
+			case 3: // remove a link permanently
+				if edges := d.Graph().Edges(); len(edges) > 0 {
+					ed := edges[r.Intn(len(edges))]
+					d.RemoveLink(ed.U, ed.V)
+				}
+			case 4: // repair a previously failed link
+				if failed := d.FailedLinks(); len(failed) > 0 {
+					ed := failed[r.Intn(len(failed))]
+					d.RepairLink(ed.U, ed.V)
+				}
+			}
+		}
+		g, epoch := d.Commit()
+		if len(events) > 0 && epoch == events[len(events)-1].Epoch || epoch == 0 {
+			continue // every op degraded to a no-op; nothing to commit
+		}
+		events = append(events, ChurnEvent{
+			Tick:  tick,
+			Graph: g,
+			Links: linkmodel.New(g, linkOpts...),
+			Epoch: epoch,
+			Dead:  d.DeadNodes(),
+		})
+	}
+	return events
+}
+
+func aliveNodes(d *topology.Dynamic) []int {
+	out := make([]int, 0, d.AliveCount())
+	for v := 0; v < d.N(); v++ {
+		if d.Alive(v) {
+			out = append(out, v)
+		}
+	}
+	return out
 }

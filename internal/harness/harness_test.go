@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"pplb/internal/rng"
 )
 
 // replayFlag selects an artifact for TestHarnessReplay:
@@ -325,5 +327,60 @@ func TestShrinkTicksOnly(t *testing.T) {
 	sc := Generate(shrunk)
 	if sc.Ticks > 16 {
 		t.Fatalf("leak fires every %d ticks but shrunk scenario still runs %d", spec.Tweaks.LeakEvery, sc.Ticks)
+	}
+}
+
+// TestTopologyChurnGate is the dynamic-topology leg of the merge gate. It
+// scans the smoke corpus for scenarios that drew a churn schedule, asserts
+// the generator produces enough of them (the dimension must not silently
+// die), and runs a sample through the full suite — four lockstep engines
+// reconfiguring in step, the invariant set (topology-soundness included),
+// and the mid-run resume twin, which for schedules starting before the
+// midpoint is restored across an epoch boundary. Finally it pins the
+// NoChurn tweak: the same seeds with churn withheld must expand to an
+// empty schedule without perturbing any other dimension's draws.
+func TestTopologyChurnGate(t *testing.T) {
+	base := rng.New(0xC0FFEE) // same derivation as TestHarnessSmoke's soak
+	var churning []Spec
+	for i := 0; i < 220; i++ {
+		spec := Spec{Seed: base.Split(uint64(i)).Uint64()}
+		if len(Generate(spec).Churn) > 0 {
+			churning = append(churning, spec)
+		}
+	}
+	if len(churning) < 20 {
+		t.Fatalf("only %d/220 corpus scenarios churn — generator dimension degraded", len(churning))
+	}
+	ran, reconfigured, crossEpochResume := 0, 0, 0
+	for _, spec := range churning {
+		if ran == 24 {
+			break
+		}
+		ran++
+		sc := Generate(spec)
+		if out := Run(spec); out.Violation != nil {
+			t.Fatalf("churn scenario %s failed: %s", spec, out.Violation)
+		}
+		if len(sc.Churn) > 0 && int(sc.Churn[0].Tick) <= sc.Ticks {
+			reconfigured++
+		}
+		if g, _ := sc.TopologyAt(int64(sc.Ticks / 2)); g != sc.Graph {
+			crossEpochResume++
+		}
+	}
+	if reconfigured == 0 || crossEpochResume == 0 {
+		t.Fatalf("sample never exercised the contract: %d reconfigured, %d resumed across an epoch", reconfigured, crossEpochResume)
+	}
+	t.Logf("churn gate: %d scenarios, %d with events in budget, %d with a cross-epoch resume twin", ran, reconfigured, crossEpochResume)
+
+	nc := churning[0]
+	nc.Tweaks.NoChurn = true
+	plain, tweaked := Generate(churning[0]), Generate(nc)
+	if len(tweaked.Churn) != 0 {
+		t.Fatal("NoChurn tweak left a churn schedule in place")
+	}
+	if plain.Graph.N() != tweaked.Graph.N() || plain.PolicyName != tweaked.PolicyName ||
+		plain.Ticks != tweaked.Ticks || plain.EngineSeed != tweaked.EngineSeed {
+		t.Fatal("NoChurn tweak perturbed unrelated scenario dimensions")
 	}
 }

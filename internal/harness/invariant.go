@@ -39,6 +39,7 @@ func StandardInvariants() []Invariant {
 		&transferAccounting{},
 		&counterSanity{},
 		&storeConsistency{},
+		&topologySoundness{},
 	}
 }
 
@@ -181,6 +182,50 @@ func (storeConsistency) Check(s *sim.State) string {
 	return ""
 }
 
+// topologySoundness checks the dynamic-topology contract after (and
+// between) reconfigurations: dead nodes hold no tasks and receive nothing,
+// every in-flight transfer runs between alive endpoints over a link that
+// exists in the current graph, and the epoch never moves backwards. On a
+// never-reconfigured scenario this reduces to "all transfers ride real
+// links" — cheap and always on.
+type topologySoundness struct {
+	prevEpoch int64
+}
+
+func (*topologySoundness) Name() string { return "topology-soundness" }
+
+func (ts *topologySoundness) Check(s *sim.State) string {
+	if e := s.Epoch(); e < ts.prevEpoch {
+		return fmt.Sprintf("epoch regressed %d -> %d", ts.prevEpoch, e)
+	} else {
+		ts.prevEpoch = e
+	}
+	g := s.Graph()
+	for _, v := range s.DeadNodes() {
+		if g.Degree(v) != 0 {
+			return fmt.Sprintf("dead node %d has degree %d", v, g.Degree(v))
+		}
+		if l := s.Queue(v).Len(); l != 0 {
+			return fmt.Sprintf("dead node %d holds %d tasks", v, l)
+		}
+	}
+	bad := ""
+	s.VisitTransfers(func(h taskmodel.Handle, from, to int) {
+		if bad != "" {
+			return
+		}
+		switch {
+		case !s.NodeAlive(from) || !s.NodeAlive(to):
+			bad = fmt.Sprintf("transfer %d->%d touches a dead node", from, to)
+		default:
+			if _, ok := g.EdgeID(from, to); !ok {
+				bad = fmt.Sprintf("transfer %d->%d rides a link absent from the graph", from, to)
+			}
+		}
+	})
+	return bad
+}
+
 // counterSanity checks the cumulative counters: finite, non-negative,
 // monotone non-decreasing across checks, and consumption never exceeding
 // injection.
@@ -202,6 +247,8 @@ func (cs *counterSanity) Check(s *sim.State) string {
 		{"Faults", float64(c.Faults)}, {"Rejected", float64(c.Rejected)},
 		{"Injected", c.Injected}, {"Consumed", c.Consumed},
 		{"TasksCompleted", float64(c.TasksCompleted)},
+		{"Reconfigs", float64(c.Reconfigs)}, {"DrainedTasks", float64(c.DrainedTasks)},
+		{"RecalledTransfers", float64(c.RecalledTransfers)},
 	} {
 		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
 			return fmt.Sprintf("counter %s = %g", f.name, f.v)
@@ -231,6 +278,12 @@ func (cs *counterSanity) Check(s *sim.State) string {
 			return fmt.Sprintf("Consumed regressed %g -> %g", p.Consumed, c.Consumed)
 		case c.TasksCompleted < p.TasksCompleted:
 			return fmt.Sprintf("TasksCompleted regressed %d -> %d", p.TasksCompleted, c.TasksCompleted)
+		case c.Reconfigs < p.Reconfigs:
+			return fmt.Sprintf("Reconfigs regressed %d -> %d", p.Reconfigs, c.Reconfigs)
+		case c.DrainedTasks < p.DrainedTasks:
+			return fmt.Sprintf("DrainedTasks regressed %d -> %d", p.DrainedTasks, c.DrainedTasks)
+		case c.RecalledTransfers < p.RecalledTransfers:
+			return fmt.Sprintf("RecalledTransfers regressed %d -> %d", p.RecalledTransfers, c.RecalledTransfers)
 		}
 	}
 	cs.prev, cs.started = c, true
@@ -241,6 +294,13 @@ func (cs *counterSanity) Check(s *sim.State) string {
 // bitwise-identical per-node loads — reporting any divergence under the
 // given invariant name with a/b labels for attribution.
 func compareStates(name, aLabel, bLabel string, a, b *sim.State, tick int64) *Violation {
+	if ae, be := a.Epoch(), b.Epoch(); ae != be {
+		return &Violation{
+			Invariant: name,
+			Tick:      tick,
+			Detail:    fmt.Sprintf("topology epoch diverges: %s %d vs %s %d", aLabel, ae, bLabel, be),
+		}
+	}
 	if ac, bc := a.Counters(), b.Counters(); ac != bc {
 		return &Violation{
 			Invariant: name,

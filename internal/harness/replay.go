@@ -117,7 +117,12 @@ func MakeCheckpoint(a *Artifact, tick int) (*Checkpoint, error) {
 		return nil, fmt.Errorf("harness: checkpoint engine: %w", err)
 	}
 	defer primary.Close()
-	primary.Run(tick)
+	for t := int64(1); t <= int64(tick); t++ {
+		if v := applyChurn(sc, t, primary); v != nil {
+			return nil, fmt.Errorf("harness: checkpoint churn: %s", v)
+		}
+		primary.Step()
+	}
 	snap, err := primary.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("harness: checkpoint snapshot: %w", err)
@@ -179,12 +184,15 @@ func ReplayFromCheckpoint(a *Artifact, cp *Checkpoint) (*Outcome, bool, error) {
 		sim.SetConservationLeakForTest(a.Spec.Tweaks.LeakEvery)
 		defer sim.SetConservationLeakForTest(0)
 	}
-	primary, err := sim.Restore(cp.Snapshot, sc.Config(sc.Workers))
+	// The checkpoint may postdate churn events; restore against the topology
+	// in effect at its tick, then apply the remaining schedule in the loop.
+	cpGraph, cpLinks := sc.TopologyAt(int64(cp.Tick))
+	primary, err := sim.Restore(cp.Snapshot, sc.ConfigAt(sc.Workers, cpGraph, cpLinks))
 	if err != nil {
 		return nil, false, fmt.Errorf("harness: restoring primary: %w", err)
 	}
 	defer primary.Close()
-	twin, err := sim.Restore(cp.Snapshot, sc.Config(1))
+	twin, err := sim.Restore(cp.Snapshot, sc.ConfigAt(1, cpGraph, cpLinks))
 	if err != nil {
 		return nil, false, fmt.Errorf("harness: restoring twin: %w", err)
 	}
@@ -192,6 +200,10 @@ func ReplayFromCheckpoint(a *Artifact, cp *Checkpoint) (*Outcome, bool, error) {
 
 	invs := StandardInvariants()
 	for tick := cp.Tick + 1; tick <= sc.Ticks; tick++ {
+		if v := applyChurn(sc, int64(tick), primary, twin); v != nil {
+			out.Violation = v
+			return out, violationMatches(out, a), nil
+		}
 		primary.Step()
 		twin.Step()
 		if tick%sc.CheckEvery != 0 && tick != sc.Ticks {

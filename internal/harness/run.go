@@ -84,6 +84,13 @@ func Run(spec Spec) *Outcome {
 		}
 	}()
 	for tick := 1; tick <= sc.Ticks; tick++ {
+		// Churn events fire on every lockstep engine at the tick boundary —
+		// including the mid-run restored twin, which therefore crosses the
+		// same epoch boundaries as the primary it must match byte-for-byte.
+		if v := applyChurn(sc, int64(tick), primary, twin, sweep, resumed); v != nil {
+			out.Violation = v
+			return out
+		}
 		primary.Step()
 		twin.Step()
 		sweep.Step()
@@ -134,6 +141,34 @@ func Run(spec Spec) *Outcome {
 	return out
 }
 
+// applyChurn applies every churn event scheduled at tick to the given
+// engines (nil entries skipped), building a fresh policy instance per
+// engine against the event's committed graph. Any Reconfigure error is a
+// harness violation: the generator only schedules legal events.
+func applyChurn(sc *Scenario, tick int64, engines ...*sim.Engine) *Violation {
+	for _, ev := range sc.Churn {
+		if ev.Tick != tick {
+			continue
+		}
+		for _, e := range engines {
+			if e == nil {
+				continue
+			}
+			rc := sim.Reconfig{
+				Graph:  ev.Graph,
+				Links:  ev.Links,
+				Epoch:  ev.Epoch,
+				Dead:   ev.Dead,
+				Policy: sc.NewPolicy(ev.Graph),
+			}
+			if err := e.Reconfigure(rc); err != nil {
+				return &Violation{Invariant: "reconfigure", Tick: tick, Detail: err.Error()}
+			}
+		}
+	}
+	return nil
+}
+
 // buildResumeTwin snapshots the primary at tick, round-trips the snapshot
 // through Restore, and returns the restored engine for lockstep resume
 // checking. The twin is restored at Workers=3 with a fresh policy instance
@@ -142,13 +177,17 @@ func Run(spec Spec) *Outcome {
 // different (odd, non-shard-dividing) worker count — the restore straddles
 // the pool's barrier, which is legal exactly because the barrier is
 // quiescent between ticks and owns no serialized state — and that no policy
-// smuggles mutable cross-tick state past the restore.
+// smuggles mutable cross-tick state past the restore. Under churn the
+// restore config carries the topology current at tick (snapshot v2 pins the
+// graph structurally), so mid-run restores across epoch boundaries are
+// exercised by every churning scenario.
 func buildResumeTwin(sc *Scenario, primary *sim.Engine, tick int64) (*sim.Engine, *Violation) {
 	snap, err := primary.Snapshot()
 	if err != nil {
 		return nil, &Violation{Invariant: "snapshot-roundtrip", Tick: tick, Detail: "snapshot failed: " + err.Error()}
 	}
-	resumed, err := sim.Restore(snap, sc.Config(3))
+	curGraph, curLinks := sc.TopologyAt(tick)
+	resumed, err := sim.Restore(snap, sc.ConfigAt(3, curGraph, curLinks))
 	if err != nil {
 		return nil, &Violation{Invariant: "snapshot-roundtrip", Tick: tick, Detail: "restore failed: " + err.Error()}
 	}
@@ -228,8 +267,8 @@ const minShrinkTicks = 4
 
 // Shrink minimises a failing spec while preserving failure: first cut the
 // tick budget to the violation tick and keep halving, then demote the
-// topology size rank, then disable faults, arrivals and heterogeneity one
-// at a time, keeping each reduction only if the run still violates some
+// topology size rank, then disable churn, faults, arrivals and
+// heterogeneity one at a time, keeping each reduction only if the run still violates some
 // invariant (not necessarily the original one — any violation keeps the
 // counterexample alive). Returns the shrunk spec and its violation; if the
 // input spec does not fail, it is returned unchanged with a nil violation.
@@ -290,6 +329,7 @@ func Shrink(spec Spec) (Spec, *Violation) {
 	// 3. Dimensions: disable one scenario feature at a time, skipping
 	// features the scenario never had.
 	for _, disable := range []func(*Tweaks){
+		func(t *Tweaks) { t.NoChurn = true },
 		func(t *Tweaks) { t.NoFaults = true },
 		func(t *Tweaks) { t.NoArrivals = true },
 		func(t *Tweaks) { t.NoHetero = true },

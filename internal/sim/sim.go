@@ -131,6 +131,12 @@ type Counters struct {
 	Injected       float64 // total load injected (initial + arrivals)
 	Consumed       float64 // total load consumed by service
 	TasksCompleted int64
+
+	// Topology-reconfiguration accounting (bumped only in Reconfigure,
+	// which is single-threaded — the per-shard partials never touch these).
+	Reconfigs         int64 // topology epochs applied to this engine
+	DrainedTasks      int64 // tasks redistributed off dead nodes
+	RecalledTransfers int64 // in-flight transfers recalled from removed links
 }
 
 // add folds a per-shard partial into the cumulative counters. Called in
@@ -146,6 +152,9 @@ func (c *Counters) add(d Counters) {
 	c.Injected += d.Injected
 	c.Consumed += d.Consumed
 	c.TasksCompleted += d.TasksCompleted
+	c.Reconfigs += d.Reconfigs
+	c.DrainedTasks += d.DrainedTasks
+	c.RecalledTransfers += d.RecalledTransfers
 }
 
 // State is the full mutable simulation state. Policies receive it wrapped in
@@ -189,6 +198,14 @@ type State struct {
 	counters Counters
 	respTime stats.Online // response time of completed tasks
 
+	// Topology version: epoch counts the reconfigurations applied to this
+	// engine and deadNode marks departed node ids (nil until the first node
+	// leaves — the static-topology fast path stays branch-predictable).
+	// Dead ids keep their slots in every per-node array: node ids are
+	// stable forever, the id space only grows.
+	epoch    int64
+	deadNode []bool
+
 	movingResident []movingRec // tasks delivered with inertia last tick
 	nextTaskID     taskmodel.ID
 
@@ -226,6 +243,30 @@ func (s *State) noteTaskRemoved(v int) {
 	}
 }
 
+// nodeAlive reports whether node v has not left the topology. The nil check
+// keeps static-topology engines free of the per-arrival cost.
+func (s *State) nodeAlive(v int) bool { return s.deadNode == nil || !s.deadNode[v] }
+
+// Epoch returns the topology epoch: 0 until the first Reconfigure, then the
+// epoch of the last applied reconfiguration.
+func (s *State) Epoch() int64 { return s.epoch }
+
+// NodeAlive reports whether node v is part of the current topology (has not
+// departed through a reconfiguration).
+func (s *State) NodeAlive(v int) bool { return s.nodeAlive(v) }
+
+// DeadNodes returns the ascending ids of departed nodes (nil when the
+// topology never shrank).
+func (s *State) DeadNodes() []int {
+	var out []int
+	for v, d := range s.deadNode {
+		if d {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // ActiveSetEnabled reports whether the engine plans incrementally via the
 // active set (false = every node re-plans every tick).
 func (s *State) ActiveSetEnabled() bool { return s.active != nil }
@@ -248,6 +289,10 @@ type View struct {
 
 // Graph returns the topology.
 func (v *View) Graph() *topology.Graph { return v.s.g }
+
+// NodeAlive reports whether node n is part of the current topology. Dead
+// nodes stay in the id space as isolated nodes with empty queues.
+func (v *View) NodeAlive(n int) bool { return v.s.nodeAlive(n) }
 
 // Links returns the link parameters.
 func (v *View) Links() *linkmodel.Params { return v.s.links }
@@ -784,7 +829,7 @@ func (e *Engine) Step() {
 	if len(arr) > 0 {
 		if e.parTick && len(arr) >= arrivalFanOut {
 			for _, a := range arr {
-				if a.Node < 0 || a.Node >= s.g.N() || a.Load <= 0 {
+				if a.Node < 0 || a.Node >= s.g.N() || !s.nodeAlive(a.Node) || a.Load <= 0 {
 					continue
 				}
 				k := s.nodeShard[a.Node]
@@ -792,8 +837,12 @@ func (e *Engine) Step() {
 			}
 			e.fanOut(numShards, e.runInject)
 		} else {
+			// Arrivals addressed to departed nodes are dropped before id
+			// assignment and the Injected counter, so load conservation and
+			// the id sequence are unaffected by a workload generator that has
+			// not heard about a reconfiguration yet.
 			for _, a := range arr {
-				if a.Node >= 0 && a.Node < s.g.N() {
+				if a.Node >= 0 && a.Node < s.g.N() && s.nodeAlive(a.Node) {
 					e.inject(a.Node, a.Load)
 				}
 			}

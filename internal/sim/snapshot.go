@@ -46,11 +46,43 @@ import (
 
 	"pplb/internal/stats"
 	"pplb/internal/taskmodel"
+	"pplb/internal/topology"
 )
+
+// topoFingerprint hashes the graph structure (node count and canonical edge
+// list) with FNV-1a. Counts alone cannot distinguish two same-size graphs
+// wired differently — which static topologies never produced, but a replayed
+// churn history easily can.
+func topoFingerprint(g *topology.Graph) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(g.N()))
+	for _, e := range g.Edges() {
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+	}
+	return h
+}
 
 // SnapshotVersion is the format version byte written after the magic. Bump it
 // on any encoding change; Restore rejects other versions.
-const SnapshotVersion = 1
+//
+// Version 2 (dynamic topology): the header gains a structural topology
+// fingerprint, the topology epoch and the dead-node list, and the counter
+// block gains the reconfiguration counters. A caller restoring across an
+// epoch boundary passes the *current* committed graph (and its links) in
+// cfg — the fingerprint pins that it reconstructed exactly the topology the
+// snapshot was taken under.
+const SnapshotVersion = 2
+
+// maxSnapshotIDs caps the task-id bound a snapshot may carry (the id→handle
+// index is dense, so restore allocates 4 bytes per id). 2^28 ids is a 1 GiB
+// index — far past any supported run, and a hard stop for corrupted inputs.
+const maxSnapshotIDs = 1 << 28
 
 var snapshotMagic = [8]byte{'P', 'P', 'L', 'B', 'S', 'N', 'A', 'P'}
 
@@ -166,18 +198,28 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	st := s.tasks
 	capn := st.Cap()
 
-	est := 128 + len(s.linkBusy) + capn*63 + len(st.FreeList())*4 +
+	est := 176 + len(s.linkBusy) + capn*63 + len(st.FreeList())*4 +
 		len(s.queues)*16 + s.InFlight()*22 + len(s.movingResident)*16
 	w := &snapWriter{b: make([]byte, 0, est)}
 
-	// Header: identity of the immutable configuration this state belongs to.
+	// Header: identity of the configuration this state belongs to — since
+	// format 2 that includes the topology version (structural fingerprint,
+	// epoch and dead-node list), because the graph is no longer immutable
+	// over an engine's lifetime.
 	w.raw(snapshotMagic[:])
 	w.u8(SnapshotVersion)
 	w.u64(uint64(s.g.N()))
 	w.u64(uint64(s.g.NumEdges()))
 	w.u64(e.cfg.Seed)
 	w.u64(s.links.Fingerprint())
+	w.u64(topoFingerprint(s.g))
 	w.bool(s.active != nil)
+	w.i64(s.epoch)
+	deadIDs := s.DeadNodes()
+	w.u64(uint64(len(deadIDs)))
+	for _, v := range deadIDs {
+		w.u32(uint32(v))
+	}
 
 	// Scalars, counters, metrics, RNG stream positions.
 	w.i64(s.tick)
@@ -192,6 +234,9 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.f64(c.Injected)
 	w.f64(c.Consumed)
 	w.i64(c.TasksCompleted)
+	w.i64(c.Reconfigs)
+	w.i64(c.DrainedTasks)
+	w.i64(c.RecalledTransfers)
 	rs := s.respTime.State()
 	w.i64(int64(rs.N))
 	w.f64(rs.Mean)
@@ -300,13 +345,15 @@ func (e *Engine) Snapshot() ([]byte, error) {
 }
 
 // Restore rebuilds a running engine from a snapshot. cfg must describe the
-// same system the snapshot was taken from — same graph shape, link
-// parameters, seed, and the same active-set mode (policy locality ×
-// FullSweep) — but may differ in Workers: a Workers=8 run resumes
-// bit-identically on a Workers=1 engine and vice versa. cfg.Initial is
-// ignored (the snapshot carries the real workload). The policy instance in
-// cfg is used as-is and must be freshly constructed or otherwise stateless:
-// the engine contract is that policies carry no mutable state between ticks.
+// same system the snapshot was taken from — same graph structure (for a
+// reconfigured engine that is the graph of the snapshot's topology epoch,
+// pinned by a structural fingerprint), link parameters, seed, and the same
+// active-set mode (policy locality × FullSweep) — but may differ in Workers:
+// a Workers=8 run resumes bit-identically on a Workers=1 engine and vice
+// versa. cfg.Initial is ignored (the snapshot carries the real workload).
+// The policy instance in cfg is used as-is and must be freshly constructed
+// or otherwise stateless: the engine contract is that policies carry no
+// mutable state between ticks.
 func Restore(data []byte, cfg Config) (*Engine, error) {
 	r := &snapReader{b: data}
 	var magic [8]byte
@@ -321,9 +368,25 @@ func Restore(data []byte, cfg Config) (*Engine, error) {
 	edges := r.u64()
 	seed := r.u64()
 	linksFP := r.u64()
+	topoFP := r.u64()
 	hasActive := r.bool()
+	epoch := r.i64()
+	deadCnt := r.count(4)
+	deadIDs := make([]int, 0, deadCnt)
+	prevDead := -1
+	for i := 0; i < deadCnt; i++ {
+		v := int(r.u32())
+		if r.err == nil && (v <= prevDead || uint64(v) >= n) {
+			r.fail("dead-node list not ascending in-range at id %d", v)
+		}
+		prevDead = v
+		deadIDs = append(deadIDs, v)
+	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	if epoch < 0 {
+		return nil, fmt.Errorf("sim: snapshot: negative topology epoch %d", epoch)
 	}
 	if cfg.Graph == nil {
 		return nil, errors.New("sim: Restore requires Config.Graph")
@@ -334,13 +397,29 @@ func Restore(data []byte, cfg Config) (*Engine, error) {
 	if int64(cfg.Graph.NumEdges()) != int64(edges) {
 		return nil, fmt.Errorf("sim: snapshot: taken with %d edges, config has %d", edges, cfg.Graph.NumEdges())
 	}
+	if fp := topoFingerprint(cfg.Graph); fp != topoFP {
+		return nil, fmt.Errorf("sim: snapshot: topology fingerprint %#x, config graph %q has %#x (wrong topology epoch?)", topoFP, cfg.Graph.Name(), fp)
+	}
 	if cfg.Seed != seed {
 		return nil, fmt.Errorf("sim: snapshot: taken with seed %#x, config has %#x", seed, cfg.Seed)
+	}
+	for _, v := range deadIDs {
+		if cfg.Graph.Degree(v) != 0 {
+			return nil, fmt.Errorf("sim: snapshot: dead node %d has degree %d in config graph", v, cfg.Graph.Degree(v))
+		}
 	}
 	cfg.Initial = nil
 	e, err := New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	e.state.epoch = epoch
+	if len(deadIDs) > 0 {
+		dead := make([]bool, n)
+		for _, v := range deadIDs {
+			dead[v] = true
+		}
+		e.state.deadNode = dead
 	}
 	if fp := e.state.links.Fingerprint(); fp != linksFP {
 		e.Close()
@@ -381,6 +460,9 @@ func (e *Engine) restoreBody(r *snapReader) error {
 	s.counters.Injected = r.f64()
 	s.counters.Consumed = r.f64()
 	s.counters.TasksCompleted = r.i64()
+	s.counters.Reconfigs = r.i64()
+	s.counters.DrainedTasks = r.i64()
+	s.counters.RecalledTransfers = r.i64()
 	var rs stats.OnlineState
 	rs.N = int(r.i64())
 	rs.Mean = r.f64()
@@ -421,6 +503,16 @@ func (e *Engine) restoreBody(r *snapReader) error {
 		slots[h].MovedTick = r.i64()
 	}
 	idBound := taskmodel.ID(r.i64())
+	// Ids are issued sequentially, so the store's id index is always exactly
+	// nextTaskID entries — enforcing that here keeps a corrupted length field
+	// from driving an O(idBound) allocation below. The absolute cap bounds
+	// the index at 1 GiB even for a coordinated corruption of both fields.
+	if idBound != s.nextTaskID {
+		return fmt.Errorf("sim: snapshot: id bound %d != next task id %d", idBound, s.nextTaskID)
+	}
+	if idBound > maxSnapshotIDs {
+		return fmt.Errorf("sim: snapshot: id bound %d exceeds the format limit %d", idBound, int64(maxSnapshotIDs))
+	}
 	free := make([]taskmodel.Handle, r.count(4))
 	for i := range free {
 		free[i] = taskmodel.Handle(r.u32())
@@ -433,17 +525,42 @@ func (e *Engine) restoreBody(r *snapReader) error {
 	}
 	st := s.tasks
 
+	// Every live slot is owned by exactly one queue or transfer record; a
+	// handle referenced twice would double-release on completion and a live
+	// slot referenced nowhere is leaked state no valid engine produces.
+	owned := make([]bool, capn)
+	ownedCnt := 0
+	claim := func(h taskmodel.Handle, what string, a, b int) {
+		if r.err != nil {
+			return
+		}
+		if owned[h] {
+			r.fail("%s %d/%d references handle %d twice", what, a, b, h)
+			return
+		}
+		owned[h] = true
+		ownedCnt++
+	}
+
 	// Queues: rebuild residency (claiming node/slot lanes), then the
 	// occupancy index the engine normally maintains via noteTaskAdded.
 	var hbuf []taskmodel.Handle
 	for v := range s.queues {
 		cnt := r.count(4)
+		if r.err == nil && cnt > 0 && !s.nodeAlive(v) {
+			r.fail("dead node %d has %d resident tasks", v, cnt)
+			return r.err
+		}
 		hbuf = hbuf[:0]
 		for i := 0; i < cnt; i++ {
 			h := taskmodel.Handle(r.u32())
 			if r.err == nil && !st.Alive(h) {
 				r.fail("queue %d references dead handle %d", v, h)
 			}
+			if r.err != nil {
+				return r.err
+			}
+			claim(h, "queue", v, i)
 			hbuf = append(hbuf, h)
 		}
 		total := r.f64()
@@ -482,16 +599,22 @@ func (e *Engine) restoreBody(r *snapReader) error {
 				r.fail("shard %d transfer %d destined to node %d outside [%d,%d)", k, i, rec.to, lo, hi)
 			case int(rec.from) < 0 || int(rec.from) >= n:
 				r.fail("shard %d transfer %d from invalid node %d", k, i, rec.from)
+			case !s.nodeAlive(int(rec.from)) || !s.nodeAlive(int(rec.to)):
+				r.fail("shard %d transfer %d touches a dead node (%d -> %d)", k, i, rec.from, rec.to)
 			case int(rec.edge) < 0 || int(rec.edge) >= len(s.linkBusy):
 				r.fail("shard %d transfer %d on invalid edge %d", k, i, rec.edge)
 			case rec.remaining < 1:
 				r.fail("shard %d transfer %d with remaining latency %d", k, i, rec.remaining)
 			}
+			claim(rec.task, "shard", k, i)
 			if r.err != nil {
 				return r.err
 			}
 			sh.push(rec)
 		}
+	}
+	if ownedCnt != st.Live() {
+		return fmt.Errorf("sim: snapshot: %d live slots but %d owned by queues/transfers", st.Live(), ownedCnt)
 	}
 
 	// In-flight aggregates: stamps open in the fresh epoch (1, from New) and

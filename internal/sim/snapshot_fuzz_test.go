@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"pplb/internal/linkmodel"
+	"pplb/internal/topology"
+)
+
+// fuzzRestoreConfig builds the fixed post-churn system FuzzRestore decodes
+// against: a 4x4 torus that lost node 3 and gained node 16, latency-3 links
+// so snapshots carry in-flight transfers, and an active-set policy.
+func fuzzRestoreConfig() (Config, Reconfig) {
+	g0 := topology.NewTorus(4, 4)
+	d := topology.NewDynamic(g0)
+	d.Leave(3)
+	v := d.Join(topology.Point2{X: 5, Y: 5})
+	d.AddLink(v, 0)
+	d.AddLink(v, 5)
+	g, epoch := d.Commit()
+	rc := Reconfig{
+		Graph: g,
+		Links: linkmodel.New(g, linkmodel.WithUniformLength(3)),
+		Epoch: epoch,
+		Dead:  d.DeadNodes(),
+	}
+	cfg := Config{
+		Graph:       rc.Graph,
+		Links:       rc.Links,
+		Policy:      localGreedy{},
+		Seed:        9,
+		ServiceRate: 0.05,
+	}
+	return cfg, rc
+}
+
+// FuzzRestore feeds mutated snapshot bytes through Restore: any input must
+// either produce a working engine (stepped once to shake out latent decode
+// corruption) or a descriptive error — never a panic or a hostile-length
+// allocation. The seed corpus holds real snapshots of the matching system
+// (several ticks, so free-list recycling, transfers and inertia records are
+// all populated), one snapshot from a mismatched epoch, and hand-truncated
+// variants; `go test` runs the corpus as part of the merge gate and the
+// nightly job mutates from there.
+func FuzzRestore(f *testing.F) {
+	cfg, rc := fuzzRestoreConfig()
+
+	// Live snapshots at several ticks of the matching system.
+	initial := make([][]float64, cfg.Graph.N())
+	initial[0] = []float64{2, 1, 1}
+	initial[9] = []float64{3, 0.5}
+	bcfg := cfg
+	bcfg.Initial = initial
+	e, err := New(bcfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	e.state.epoch = rc.Epoch // the snapshot carries the churn history
+	dead := make([]bool, cfg.Graph.N())
+	for _, v := range rc.Dead {
+		dead[v] = true
+	}
+	e.state.deadNode = dead
+	for i := 0; i < 12; i++ {
+		e.Step()
+		if i%4 == 3 {
+			snap, err := e.Snapshot()
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(snap)
+			// Truncations and a corrupted tail seed the error paths.
+			f.Add(snap[:len(snap)/2])
+			mut := append([]byte(nil), snap...)
+			for off := 96; off < len(mut); off += 61 {
+				mut[off] ^= 0xff
+			}
+			f.Add(mut)
+		}
+	}
+	e.Close()
+
+	// A snapshot of the pre-churn topology: decodes against cfg must fail
+	// the structural fingerprint, not crash.
+	g0 := topology.NewTorus(4, 4)
+	init0 := make([][]float64, g0.N())
+	init0[0] = []float64{1}
+	e0, err := New(Config{Graph: g0, Policy: localGreedy{}, Seed: 9, Initial: init0})
+	if err != nil {
+		f.Fatal(err)
+	}
+	e0.Run(2)
+	if snap, err := e0.Snapshot(); err == nil {
+		f.Add(snap)
+	}
+	e0.Close()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, err := Restore(data, cfg)
+		if err != nil {
+			if eng != nil {
+				t.Fatal("Restore returned both an engine and an error")
+			}
+			if err.Error() == "" {
+				t.Fatal("Restore error is not descriptive")
+			}
+			return
+		}
+		// A snapshot that decodes must also run: one tick exercises every
+		// restored structure (queues, transfers, aggregates, active set).
+		eng.Step()
+		eng.Close()
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"pplb/internal/rng"
 	"pplb/internal/sim"
 	"pplb/internal/taskmodel"
+	"pplb/internal/topology"
 )
 
 // Hotspot places `tasks` tasks of the given size all on node `node`.
@@ -135,6 +136,36 @@ func HotspotArrivals(node int, rate, size float64) sim.ArrivalFunc {
 		var out []sim.Arrival
 		for i := r.Poisson(rate); i > 0; i-- {
 			out = append(out, sim.Arrival{Node: node, Load: size})
+		}
+		return out
+	}
+}
+
+// MovingHotspotArrivals injects Poisson(rate) tasks of fixed size at a
+// hotspot that walks the topology: every `period` ticks the center steps to a
+// uniformly random neighbor of the current center (staying put on isolated
+// nodes). The walk is keyed by walkSeed alone — not by the shared arrival
+// stream — and the path is recomputed as a pure function of the tick, so a
+// restored engine resumes the identical trajectory and the other arrival
+// draws are unperturbed.
+func MovingHotspotArrivals(g *topology.Graph, start int, rate, size float64, period int64, walkSeed uint64) sim.ArrivalFunc {
+	if period < 1 {
+		period = 1
+	}
+	path := []int{start} // path[k] = center during [k*period, (k+1)*period)
+	walk := rng.New(walkSeed)
+	return func(tick int64, r *rng.RNG) []sim.Arrival {
+		step := int(tick / period)
+		for len(path) <= step {
+			cur := path[len(path)-1]
+			if d := g.Degree(cur); d > 0 {
+				cur = g.Neighbors(cur)[walk.Intn(d)]
+			}
+			path = append(path, cur)
+		}
+		var out []sim.Arrival
+		for i := r.Poisson(rate); i > 0; i-- {
+			out = append(out, sim.Arrival{Node: path[step], Load: size})
 		}
 		return out
 	}

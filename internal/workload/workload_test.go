@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"pplb/internal/rng"
+	"pplb/internal/sim"
 	"pplb/internal/taskmodel"
+	"pplb/internal/topology"
 )
 
 func TestHotspot(t *testing.T) {
@@ -255,5 +257,48 @@ func TestPinnedResources(t *testing.T) {
 	none := PinnedResources(init, 0, 5, 1)
 	if none.Affinity(0, 0) != 0 {
 		t.Fatal("p=0 must pin nothing")
+	}
+}
+
+func TestMovingHotspotArrivals(t *testing.T) {
+	g := topology.NewTorus(4, 4)
+	fn := MovingHotspotArrivals(g, 5, 4, 1, 3, 0xCAFE)
+	center := func(fn func(int64, *rng.RNG) []sim.Arrival, tick int64) int {
+		// A fresh high-rate draw guarantees at least one arrival in practice;
+		// retry seeds until one appears to stay deterministic-but-safe.
+		for s := uint64(0); ; s++ {
+			if out := fn(tick, rng.New(s)); len(out) > 0 {
+				return out[0].Node
+			}
+		}
+	}
+	if got := center(fn, 0); got != 5 {
+		t.Fatalf("center at tick 0 = %d, want the start node 5", got)
+	}
+	if a, b := center(fn, 2), center(fn, 0); a != b {
+		t.Fatalf("center moved within a period: %d vs %d", a, b)
+	}
+	// The walk must actually move across periods (torus, so degree 4 — the
+	// first step always leaves the start).
+	if got := center(fn, 3); got == 5 {
+		t.Fatal("center did not move after one period")
+	}
+	moved := center(fn, 30)
+	// Resume safety: a fresh closure jumped straight to tick 30 lands on the
+	// same center as the incrementally-walked one.
+	fresh := MovingHotspotArrivals(g, 5, 4, 1, 3, 0xCAFE)
+	if got := center(fresh, 30); got != moved {
+		t.Fatalf("fresh closure at tick 30 = %d, incremental = %d", got, moved)
+	}
+	// Every center is a node of the graph and consecutive centers are
+	// neighbors (or equal across a period boundary with an isolated node).
+	prev := 5
+	walked := MovingHotspotArrivals(g, 5, 4, 1, 1, 0xCAFE)
+	for tick := int64(1); tick < 20; tick++ {
+		cur := center(walked, tick)
+		if cur != prev && !g.HasEdge(prev, cur) {
+			t.Fatalf("tick %d: center jumped %d -> %d (not a link)", tick, prev, cur)
+		}
+		prev = cur
 	}
 }

@@ -78,6 +78,14 @@ type (
 	ArrivalFunc = sim.ArrivalFunc
 	// Counters aggregates engine accounting (migrations, traffic, faults...).
 	Counters = sim.Counters
+	// DynamicGraph stages topology reconfigurations (node join/leave, link
+	// add/remove/fail/repair) and commits them into immutable Graph epochs.
+	DynamicGraph = topology.Dynamic
+	// Point2 is a node position under the M2 embedding (used by
+	// DynamicGraph.Join to place joining nodes).
+	Point2 = topology.Point2
+	// Reconfig describes one committed topology change for System.Reconfigure.
+	Reconfig = sim.Reconfig
 	// BalancerConfig holds the PPLB physical constants.
 	BalancerConfig = core.Config
 	// Balancer is the particle-and-plane load balancer.
@@ -132,6 +140,11 @@ func RandomRegular(n, d int, seed uint64) *Graph { return topology.NewRandomRegu
 // CCC returns the cube-connected-cycles network CCC(d): d·2^d nodes of
 // degree 3, the bounded-degree hypercube substitute.
 func CCC(d int) *Graph { return topology.NewCCC(d) }
+
+// NewDynamic wraps a committed graph in a DynamicGraph for staging
+// reconfigurations. Stage Join/Leave/AddLink/RemoveLink/FailLink/RepairLink
+// calls, then Commit() to obtain the successor graph and its epoch.
+func NewDynamic(g *Graph) *DynamicGraph { return topology.NewDynamic(g) }
 
 // Link parameter constructors (see linkmodel for the §4.2 cost model).
 
@@ -200,6 +213,9 @@ var (
 	PoissonArrivals = workload.PoissonArrivals
 	// HotspotArrivals injects arrivals at a single node.
 	HotspotArrivals = workload.HotspotArrivals
+	// MovingHotspotArrivals injects arrivals at a hotspot that random-walks
+	// the topology every few ticks.
+	MovingHotspotArrivals = workload.MovingHotspotArrivals
 	// BurstArrivals injects periodic bursts at rotating nodes.
 	BurstArrivals = workload.BurstArrivals
 	// CombineArrivals merges arrival processes.
@@ -377,6 +393,35 @@ func RestoreSystem(g *Graph, policy Policy, snapshot []byte, opts ...Option) (*S
 	}
 	return &System{engine: e, collector: col}, nil
 }
+
+// Reconfigure applies a committed topology change between ticks: tasks on
+// departed nodes are drained to their old neighbours, transfers on removed
+// links are recalled, and every engine structure is regrown to the new id
+// space — deterministically, so reconfigured runs stay bit-identical across
+// worker counts and snapshot/restore (pass the current graph to
+// RestoreSystem when resuming past an epoch boundary). See sim.Reconfig for
+// the field contract.
+func (s *System) Reconfigure(rc Reconfig) error { return s.engine.Reconfigure(rc) }
+
+// ReconfigureFrom commits d's staged changes and applies them to the
+// system in one call. Policies that capture the graph at construction
+// (e.g. DimensionExchangePolicy) must be rebuilt against d.Graph() and
+// passed as rc.Policy via Reconfigure instead. The link options rebuild
+// the per-link parameters for the successor graph; omit them for
+// unit-cost links.
+func (s *System) ReconfigureFrom(d *DynamicGraph, opts ...LinkOption) error {
+	g, epoch := d.Commit()
+	return s.engine.Reconfigure(sim.Reconfig{
+		Graph: g,
+		Links: linkmodel.New(g, opts...),
+		Epoch: epoch,
+		Dead:  d.DeadNodes(),
+	})
+}
+
+// Epoch returns the system's current topology epoch (0 until the first
+// reconfiguration).
+func (s *System) Epoch() int64 { return s.engine.State().Epoch() }
 
 // Run advances the system by n ticks.
 func (s *System) Run(n int) { s.engine.Run(n) }
